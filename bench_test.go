@@ -1,0 +1,269 @@
+package ldprecover_test
+
+import (
+	"testing"
+
+	"ldprecover"
+	"ldprecover/internal/experiment"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation (§VI–§VII) at bench scale (2% of the paper's users, 2
+// trials) so `go test -bench=.` finishes in minutes; cmd/experiments runs
+// the same generators at paper scale. Each benchmark reports the headline
+// metric of its experiment via b.ReportMetric so regressions in recovery
+// quality — not just speed — are visible in benchmark diffs.
+
+// benchConfig is the reduced-scale configuration shared by all paper
+// benchmarks.
+func benchConfig() experiment.Config {
+	return experiment.Config{Scale: 0.02, Trials: 2, Seed: 1}
+}
+
+// runFigure executes a registered experiment generator b.N times.
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	gen := experiment.Registry[id]
+	if gen == nil {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := gen(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables produced")
+		}
+	}
+}
+
+// BenchmarkFigure3_MSEByAttackAndMethod regenerates Fig. 3 (both
+// datasets, 7 attack-protocol combos, 4 methods).
+func BenchmarkFigure3_MSEByAttackAndMethod(b *testing.B) { runFigure(b, "fig3") }
+
+// BenchmarkFigure4_FrequencyGain regenerates Fig. 4 (FG under MGA).
+func BenchmarkFigure4_FrequencyGain(b *testing.B) { runFigure(b, "fig4") }
+
+// BenchmarkFigure5_SweepsIPUMS regenerates Fig. 5 (beta/eps/eta sweeps).
+func BenchmarkFigure5_SweepsIPUMS(b *testing.B) { runFigure(b, "fig5") }
+
+// BenchmarkFigure6_SweepsFire regenerates Fig. 6.
+func BenchmarkFigure6_SweepsFire(b *testing.B) { runFigure(b, "fig6") }
+
+// BenchmarkFigure7_MaliciousEstimation regenerates Fig. 7.
+func BenchmarkFigure7_MaliciousEstimation(b *testing.B) { runFigure(b, "fig7") }
+
+// BenchmarkTableI_UnpoisonedRecovery regenerates Table I.
+func BenchmarkTableI_UnpoisonedRecovery(b *testing.B) { runFigure(b, "table1") }
+
+// BenchmarkFigure8_MGAvsIPA regenerates Fig. 8.
+func BenchmarkFigure8_MGAvsIPA(b *testing.B) { runFigure(b, "fig8") }
+
+// BenchmarkFigure9_KMeansDefense regenerates Fig. 9.
+func BenchmarkFigure9_KMeansDefense(b *testing.B) { runFigure(b, "fig9") }
+
+// BenchmarkFigure10_MultiAttacker regenerates Fig. 10.
+func BenchmarkFigure10_MultiAttacker(b *testing.B) { runFigure(b, "fig10") }
+
+// BenchmarkAblationRefiner compares Algorithm 1 vs exact projection.
+func BenchmarkAblationRefiner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationRefiner(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSimFidelity compares count- vs report-level paths.
+func BenchmarkAblationSimFidelity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationSimFidelity(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDetectionRule compares any- vs all-target detection.
+func BenchmarkAblationDetectionRule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.AblationDetectionRule(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoveryQuality_MGA_OUE tracks the paper's headline numbers
+// (MSE before/after, FG suppression) as benchmark metrics on a fixed
+// MGA-OUE scenario, so quality regressions surface in benchmark diffs.
+func BenchmarkRecoveryQuality_MGA_OUE(b *testing.B) {
+	ds, err := ldprecover.SyntheticIPUMS().Scaled(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var m *experiment.Metrics
+	for i := 0; i < b.N; i++ {
+		m, err = experiment.Run(experiment.Scenario{
+			Dataset:  ds,
+			Protocol: experiment.OUE,
+			Attack:   experiment.MGAAttack,
+			Trials:   3,
+			Seed:     7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if m != nil {
+		b.ReportMetric(m.MSEBefore, "mse-before")
+		b.ReportMetric(m.MSEAfter, "mse-after")
+		b.ReportMetric(m.MSEStar, "mse-star")
+		b.ReportMetric(m.FGBefore, "fg-before")
+		b.ReportMetric(m.FGAfter, "fg-after")
+	}
+}
+
+// BenchmarkRecoverCore measures the recovery algorithm itself (no
+// simulation): d=1024 poisoned vector through learning + estimation +
+// Algorithm 1.
+func BenchmarkRecoverCore(b *testing.B) {
+	const d = 1024
+	proto, err := ldprecover.NewOUE(d, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := ldprecover.NewRand(9)
+	poisoned := make([]float64, d)
+	for v := range poisoned {
+		poisoned[v] = 2*(rFloat(r))*0.01 - 0.002
+	}
+	poisoned[3] = 0.4 // a spike
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ldprecover.Recover(poisoned, proto.Params(), ldprecover.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func rFloat(r *ldprecover.Rand) float64 { return r.Float64() }
+
+// BenchmarkEndToEndPipeline_OLH measures the full report-level pipeline
+// (perturb, attack, aggregate, recover) on OLH at small scale.
+func BenchmarkEndToEndPipeline_OLH(b *testing.B) {
+	const d, eps = 102, 0.5
+	ds, err := ldprecover.SyntheticIPUMS().Scaled(0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := ldprecover.NewOLH(d, eps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ldprecover.NewRand(uint64(i) + 1)
+		reports, err := ldprecover.PerturbAll(proto, r, ds.Counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets, err := ldprecover.RandomTargets(r, d, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mga, err := ldprecover.NewMGA(targets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		malicious, err := mga.CraftReports(r, proto, int64(len(reports)/19))
+		if err != nil {
+			b.Fatal(err)
+		}
+		all := append(reports, malicious...)
+		poisoned, err := ldprecover.EstimateFrequencies(all, proto.Params())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ldprecover.Recover(poisoned, proto.Params(), ldprecover.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionHarmony regenerates the Harmony mean-recovery table.
+func BenchmarkExtensionHarmony(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.ExtensionHarmony(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtensionKeyValue regenerates the key-value recovery table.
+func BenchmarkExtensionKeyValue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.ExtensionKeyValue(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTheoryValidation regenerates the theory-validation table.
+func BenchmarkTheoryValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.TheoryValidation(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-protocol perturbation micro-benchmarks (one user each).
+func benchPerturb(b *testing.B, mk func() (ldprecover.Protocol, error)) {
+	b.Helper()
+	proto, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := ldprecover.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proto.Perturb(r, i%102); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerturbGRR(b *testing.B) {
+	benchPerturb(b, func() (ldprecover.Protocol, error) { return ldprecover.NewGRR(102, 0.5) })
+}
+
+func BenchmarkPerturbOUE(b *testing.B) {
+	benchPerturb(b, func() (ldprecover.Protocol, error) { return ldprecover.NewOUE(102, 0.5) })
+}
+
+func BenchmarkPerturbOLH(b *testing.B) {
+	benchPerturb(b, func() (ldprecover.Protocol, error) { return ldprecover.NewOLH(102, 0.5) })
+}
+
+// BenchmarkWireRoundTrip measures report serialization.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	proto, err := ldprecover.NewOUE(490, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := ldprecover.NewRand(2)
+	rep, err := proto.Perturb(r, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := ldprecover.MarshalReport(rep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ldprecover.UnmarshalReport(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

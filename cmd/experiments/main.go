@@ -1,0 +1,91 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp fig3,fig4 -scale 0.1 -trials 5
+//	experiments -exp all -scale 1 -trials 10 -csv
+//	experiments -exp ablation:refiner
+//
+// At -scale 1 the datasets match the paper's sizes (389,894 and 667,574
+// users); figures that need report-level simulation (fig3, fig4) take a
+// few minutes there. Smaller scales preserve the qualitative shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ldprecover/internal/experiment"
+)
+
+func main() {
+	var (
+		exps   = flag.String("exp", "all", "comma-separated experiment ids (see -list), 'all', or 'ablation:<id>'")
+		scale  = flag.Float64("scale", 1.0, "dataset scale factor (1 = paper scale)")
+		trials = flag.Int("trials", experiment.DefaultTrials, "trials per experimental cell")
+		seed   = flag.Uint64("seed", 20240403, "random seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list   = flag.Bool("list", false, "list available experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments (paper tables/figures):")
+		for _, id := range experiment.RegistryOrder {
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("ablations (prefix with 'ablation:'):")
+		for _, id := range experiment.AblationOrder {
+			fmt.Printf("  ablation:%s\n", id)
+		}
+		return
+	}
+
+	cfg := experiment.Config{Scale: *scale, Trials: *trials, Seed: *seed}
+
+	var ids []string
+	if *exps == "all" {
+		ids = append(ids, experiment.RegistryOrder...)
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: nothing to run (see -list)")
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		gen := experiment.Registry[id]
+		if gen == nil && strings.HasPrefix(id, "ablation:") {
+			gen = experiment.AblationRegistry[strings.TrimPrefix(id, "ablation:")]
+		}
+		if gen == nil {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (see -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables, err := gen(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t.Render())
+			}
+		}
+		fmt.Printf("[%s completed in %v: scale=%g trials=%d seed=%d]\n\n",
+			id, time.Since(start).Round(time.Millisecond), *scale, *trials, *seed)
+	}
+}

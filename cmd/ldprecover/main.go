@@ -1,0 +1,57 @@
+// Command ldprecover is the end-to-end CLI: simulate an LDP collection
+// under attack, recover frequencies from a poisoned estimate, and report
+// the paper's metrics.
+//
+// Subcommands:
+//
+//	ldprecover demo    -corpus ipums -protocol oue -attack mga -beta 0.05
+//	ldprecover recover -in poisoned.csv -protocol grr -epsilon 0.5 [-targets 3,7]
+//
+// demo runs the whole pipeline on a synthetic corpus and prints
+// before/after metrics; recover post-processes an existing poisoned
+// frequency vector (CSV rows "item,frequency").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "demo":
+		err = runDemo(os.Args[2:])
+	case "recover":
+		err = runRecover(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "ldprecover: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ldprecover: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ldprecover demo    [flags]   simulate -> attack -> recover -> report
+  ldprecover recover [flags]   recover frequencies from a poisoned CSV
+
+run 'ldprecover <subcommand> -h' for flags`)
+}
+
+// newFlagSet builds a flag set that prints its own usage.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return fs
+}

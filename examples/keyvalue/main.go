@@ -1,0 +1,93 @@
+// Key-value collection: the paper's future-work direction (§VIII).
+// Users report ⟨key, value⟩ pairs under LDP; a poisoning attacker
+// promotes one key while dragging its mean value upward, and the joint
+// recovery restores both the key's frequency and its mean.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldprecover"
+)
+
+func main() {
+	const (
+		domain = 20
+		users  = 120000
+		target = 5
+	)
+	r := ldprecover.NewRand(77)
+
+	// App-store style population: key = app id, value = normalized
+	// rating in [-1, 1]. The target app is unpopular and badly rated.
+	freqs := make([]float64, domain)
+	means := make([]float64, domain)
+	for k := 0; k < domain; k++ {
+		freqs[k] = 1 / float64(k+2)
+		means[k] = 0.7 - 0.08*float64(k)
+	}
+	var z float64
+	for _, f := range freqs {
+		z += f
+	}
+	for k := range freqs {
+		freqs[k] /= z
+	}
+	means[target] = -0.8 // truth: the target is disliked
+
+	proto, err := ldprecover.NewKV(domain, 1.0, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Honest collection.
+	var reports []ldprecover.KVReport
+	for k := 0; k < domain; k++ {
+		cnt := int(freqs[k] * users)
+		for i := 0; i < cnt; i++ {
+			rep, err := proto.Perturb(r, ldprecover.KVPair{Key: k, Value: means[k]})
+			if err != nil {
+				log.Fatal(err)
+			}
+			reports = append(reports, rep)
+		}
+	}
+	n := len(reports)
+
+	// Attack: 5% malicious users submit (target, +1) unperturbed, faking
+	// popularity and a glowing rating.
+	m := n / 19
+	for i := 0; i < m; i++ {
+		rep, err := proto.CraftReport(target, +1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+
+	agg, err := ldprecover.AggregateKVReports(reports, domain)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poisoned, err := proto.Estimate(agg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rec, err := proto.Recover(agg, ldprecover.KVRecoverOptions{
+		Eta:        float64(m) / float64(n),
+		Targets:    []int{target},
+		AttackSign: +1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("target key %d (truth: frequency %.4f, mean %+.2f)\n",
+		target, freqs[target], means[target])
+	fmt.Printf("  poisoned : frequency %.4f, mean %+.3f\n",
+		poisoned.Frequencies[target], poisoned.Means[target])
+	fmt.Printf("  recovered: frequency %.4f, mean %+.3f\n",
+		rec.Frequencies[target], rec.Means[target])
+}

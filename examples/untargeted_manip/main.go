@@ -1,0 +1,65 @@
+// Untargeted attack: the Manip attack degrades the whole frequency
+// distribution under GRR; LDPRecover restores it without knowing anything
+// about the attack. Demonstrates the count-free, non-knowledge recovery
+// path on the Fire surrogate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldprecover"
+)
+
+func main() {
+	const epsilon = 0.5
+	r := ldprecover.NewRand(99)
+
+	ds, err := ldprecover.SyntheticFire().Scaled(0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := ds.Domain()
+	proto, err := ldprecover.NewGRR(d, epsilon)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	genuine, err := ldprecover.PerturbAll(proto, r, ds.Counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Manip floods half the domain with uniform malicious mass.
+	manip, err := ldprecover.NewManip(0.5, 1234)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := int64(float64(ds.N()) * 0.05 / 0.95)
+	malicious, err := manip.CraftReports(r, proto, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	all := append(append([]ldprecover.Report{}, genuine...), malicious...)
+
+	poisoned, err := ldprecover.EstimateFrequencies(all, proto.Params())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := ldprecover.Recover(poisoned, proto.Params(), ldprecover.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth := ds.Frequencies()
+	mseBefore, _ := ldprecover.MSE(poisoned, truth)
+	mseAfter, _ := ldprecover.MSE(res.Frequencies, truth)
+	fmt.Printf("Manip on GRR (d=%d, n=%d, m=%d)\n", d, ds.N(), m)
+	fmt.Printf("MSE poisoned : %.3E\n", mseBefore)
+	fmt.Printf("MSE recovered: %.3E\n", mseAfter)
+
+	// The learnt malicious summation (Eq. 21) drove the recovery; for GRR
+	// it is close to 1 because every malicious report carries one item.
+	sum, _ := ldprecover.MaliciousSum(proto.Params())
+	fmt.Printf("learnt malicious frequency summation: %.4f\n", sum)
+}

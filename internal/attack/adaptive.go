@@ -1,0 +1,106 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+	"ldprecover/internal/stats"
+)
+
+// Adaptive is the paper's adaptive attack AA (§V-C), the sampling
+// framework that unifies existing poisoning attacks: the attacker fixes a
+// distribution P over the (encoded) domain and each malicious user submits
+// crafted data for an item drawn from P.
+type Adaptive struct {
+	// Dist is the attacker-designed distribution over items (sums to 1).
+	Dist []float64
+}
+
+// NewAdaptive validates the attacker-designed distribution.
+func NewAdaptive(dist []float64) (*Adaptive, error) {
+	if len(dist) == 0 {
+		return nil, errors.New("attack: empty adaptive distribution")
+	}
+	if !stats.AllFinite(dist) {
+		return nil, errors.New("attack: non-finite adaptive distribution")
+	}
+	var total float64
+	for v, p := range dist {
+		if p < 0 {
+			return nil, fmt.Errorf("attack: negative probability %g at item %d", p, v)
+		}
+		total += p
+	}
+	if total <= 0 {
+		return nil, errors.New("attack: zero-mass adaptive distribution")
+	}
+	norm := make([]float64, len(dist))
+	for v, p := range dist {
+		norm[v] = p / total
+	}
+	return &Adaptive{Dist: norm}, nil
+}
+
+// NewRandomAdaptive draws a random attacker-designed distribution over a
+// domain of size d, the paper's AA instantiation ("we randomly generate
+// the attacker-designed distribution", §VI-A.3). Sampling i.i.d.
+// exponentials and normalizing yields a uniform point on the simplex
+// (Dirichlet(1,...,1)).
+func NewRandomAdaptive(r *rng.Rand, d int) (*Adaptive, error) {
+	if r == nil {
+		return nil, errNilRand
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("attack: invalid domain %d", d)
+	}
+	dist := make([]float64, d)
+	for v := range dist {
+		dist[v] = r.Exp()
+	}
+	return NewAdaptive(dist)
+}
+
+// Name implements Attack.
+func (a *Adaptive) Name() string { return "AA" }
+
+func (a *Adaptive) checkDomain(p ldp.Protocol) error {
+	if len(a.Dist) != p.Params().Domain {
+		return fmt.Errorf("attack: adaptive distribution over %d items, protocol domain %d",
+			len(a.Dist), p.Params().Domain)
+	}
+	return nil
+}
+
+// CraftReports implements Attack.
+func (a *Adaptive) CraftReports(r *rng.Rand, p ldp.Protocol, m int64) ([]ldp.Report, error) {
+	if err := checkArgs(r, p, m); err != nil {
+		return nil, err
+	}
+	if err := a.checkDomain(p); err != nil {
+		return nil, err
+	}
+	itemCounts, err := sampleItemCounts(r, a.Dist, m)
+	if err != nil {
+		return nil, err
+	}
+	return craftFromItems(r, p, itemsFromCounts(r, itemCounts))
+}
+
+// CraftCounts implements Attack.
+func (a *Adaptive) CraftCounts(r *rng.Rand, p ldp.Protocol, m int64) ([]int64, error) {
+	if err := checkArgs(r, p, m); err != nil {
+		return nil, err
+	}
+	if err := a.checkDomain(p); err != nil {
+		return nil, err
+	}
+	itemCounts, err := sampleItemCounts(r, a.Dist, m)
+	if err != nil {
+		return nil, err
+	}
+	return countsFromItemCounts(r, p, itemCounts)
+}
+
+var _ Attack = (*Adaptive)(nil)

@@ -1,0 +1,119 @@
+// Package attack implements the poisoning attacks the paper defends
+// against: the untargeted Manip attack (Cheu et al., S&P'21), the targeted
+// MGA attack (Cao et al., USENIX Security'21) with its per-protocol report
+// crafting, the paper's own adaptive attack AA (§V-C), the input-poisoning
+// variant MGA-IPA (§VII-B), and the multi-attacker composition (§VII-C).
+//
+// Every attack offers two crafting paths mirroring package ldp: report
+// level (exact, materializes one report per malicious user) and count
+// level (fast, samples the aggregated support counts directly). In both,
+// malicious users send attacker-crafted encoded data straight to the
+// server, bypassing perturbation — the general poisoning model of §IV-A —
+// except for IPA attacks, which honestly perturb attacker-chosen inputs.
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+// Attack crafts the data sent by m malicious users under a given protocol.
+type Attack interface {
+	// Name returns a short attack identifier ("Manip", "MGA", "AA", ...).
+	Name() string
+	// CraftReports returns one crafted report per malicious user.
+	CraftReports(r *rng.Rand, p ldp.Protocol, m int64) ([]ldp.Report, error)
+	// CraftCounts returns the aggregated support counts of m crafted
+	// reports without materializing them.
+	CraftCounts(r *rng.Rand, p ldp.Protocol, m int64) ([]int64, error)
+}
+
+// Targeted is implemented by attacks that promote specific items; the
+// Detection baseline and LDPRecover* consume the target set.
+type Targeted interface {
+	Targets() []int
+}
+
+var errNilRand = errors.New("attack: nil random generator")
+
+func checkArgs(r *rng.Rand, p ldp.Protocol, m int64) error {
+	if r == nil {
+		return errNilRand
+	}
+	if p == nil {
+		return errors.New("attack: nil protocol")
+	}
+	if m < 0 {
+		return fmt.Errorf("attack: negative malicious user count %d", m)
+	}
+	return nil
+}
+
+// craftFromItems turns per-user sampled items into crafted reports using
+// the protocol's CraftSupport primitive (the adaptive-attack sampling
+// framework of §V-C: draw an item from the attacker's distribution, emit
+// an encoded value supporting it).
+func craftFromItems(r *rng.Rand, p ldp.Protocol, items []int) ([]ldp.Report, error) {
+	reports := make([]ldp.Report, len(items))
+	for i, v := range items {
+		rep, err := p.CraftSupport(r, v)
+		if err != nil {
+			return nil, err
+		}
+		reports[i] = rep
+	}
+	return reports, nil
+}
+
+// countsFromItemCounts converts per-item malicious sample counts into
+// aggregated support counts. For GRR and OUE the crafted reports support
+// exactly the sampled item; for OLH each crafted report also collides
+// with every other item independently with probability 1/g.
+func countsFromItemCounts(r *rng.Rand, p ldp.Protocol, itemCounts []int64) ([]int64, error) {
+	d := p.Params().Domain
+	if len(itemCounts) != d {
+		return nil, fmt.Errorf("attack: item count length %d, domain %d", len(itemCounts), d)
+	}
+	var m int64
+	for _, c := range itemCounts {
+		m += c
+	}
+	counts := make([]int64, d)
+	switch p.(type) {
+	case *ldp.OLH:
+		q := p.Params().Q // 1/g
+		for v, c := range itemCounts {
+			counts[v] = c + r.Binomial(m-c, q)
+		}
+	default:
+		copy(counts, itemCounts)
+	}
+	return counts, nil
+}
+
+// sampleItemCounts draws m items from dist and returns per-item counts.
+func sampleItemCounts(r *rng.Rand, dist []float64, m int64) ([]int64, error) {
+	if m == 0 {
+		return make([]int64, len(dist)), nil
+	}
+	return r.Multinomial(m, dist), nil
+}
+
+// itemsFromCounts expands per-item counts into a shuffled item sequence.
+func itemsFromCounts(r *rng.Rand, counts []int64) []int {
+	var m int64
+	for _, c := range counts {
+		m += c
+	}
+	items := make([]int, 0, m)
+	for v, c := range counts {
+		for i := int64(0); i < c; i++ {
+			items = append(items, v)
+		}
+	}
+	r.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	return items
+}

@@ -1,0 +1,245 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+func protocols(t *testing.T, d int, eps float64) []ldp.Protocol {
+	t.Helper()
+	grr, err := ldp.NewGRR(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oue, err := ldp.NewOUE(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	olh, err := ldp.NewOLH(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []ldp.Protocol{grr, oue, olh}
+}
+
+func sumCounts(cs []int64) int64 {
+	var s int64
+	for _, c := range cs {
+		s += c
+	}
+	return s
+}
+
+// assertReportsMatchCounts checks that the fast count path and the exact
+// report path of an attack agree in expectation per item.
+func assertReportsMatchCounts(t *testing.T, a Attack, p ldp.Protocol, m int64, trials int, tolPerItem float64) {
+	t.Helper()
+	d := p.Params().Domain
+	r := rng.New(777)
+	fastMean := make([]float64, d)
+	exactMean := make([]float64, d)
+	for i := 0; i < trials; i++ {
+		fast, err := a.CraftCounts(r, p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := a.CraftReports(r, p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(reports)) != m {
+			t.Fatalf("%s/%s: %d reports want %d", a.Name(), p.Name(), len(reports), m)
+		}
+		exact, err := ldp.CountSupports(reports, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < d; v++ {
+			fastMean[v] += float64(fast[v])
+			exactMean[v] += float64(exact[v])
+		}
+	}
+	for v := 0; v < d; v++ {
+		fm := fastMean[v] / float64(trials)
+		em := exactMean[v] / float64(trials)
+		if math.Abs(fm-em) > tolPerItem*float64(m) {
+			t.Fatalf("%s/%s: item %d fast mean %v exact mean %v",
+				a.Name(), p.Name(), v, fm, em)
+		}
+	}
+}
+
+func TestManipValidation(t *testing.T) {
+	if _, err := NewManip(0, 1); err == nil {
+		t.Fatal("fraction 0 accepted")
+	}
+	if _, err := NewManip(1.5, 1); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if _, err := NewManip(math.NaN(), 1); err == nil {
+		t.Fatal("NaN fraction accepted")
+	}
+}
+
+func TestManipStaysInSubdomain(t *testing.T) {
+	const d = 40
+	a, err := NewManip(0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := map[int]bool{}
+	for _, v := range a.subDomain(d) {
+		h[v] = true
+	}
+	if len(h) != 20 {
+		t.Fatalf("|H| = %d want 20", len(h))
+	}
+	grr, _ := ldp.NewGRR(d, 0.5)
+	r := rng.New(1)
+	reports, err := a.CraftReports(r, grr, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		if !h[int(rep.(ldp.GRRReport))] {
+			t.Fatalf("report %d outside sub-domain", int(rep.(ldp.GRRReport)))
+		}
+	}
+}
+
+func TestManipDeterministicSubdomain(t *testing.T) {
+	a1, _ := NewManip(0.3, 9)
+	a2, _ := NewManip(0.3, 9)
+	h1, h2 := a1.subDomain(50), a2.subDomain(50)
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatal("sub-domain not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestManipCountsMatchReports(t *testing.T) {
+	a, _ := NewManip(0.5, 3)
+	for _, p := range protocols(t, 20, 0.5) {
+		assertReportsMatchCounts(t, a, p, 500, 40, 0.05)
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	if _, err := NewAdaptive(nil); err == nil {
+		t.Fatal("empty dist accepted")
+	}
+	if _, err := NewAdaptive([]float64{-0.5, 1.5}); err == nil {
+		t.Fatal("negative prob accepted")
+	}
+	if _, err := NewAdaptive([]float64{0, 0}); err == nil {
+		t.Fatal("zero mass accepted")
+	}
+	if _, err := NewAdaptive([]float64{math.Inf(1)}); err == nil {
+		t.Fatal("Inf accepted")
+	}
+	a, err := NewAdaptive([]float64{2, 6}) // unnormalized
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Dist[0]-0.25) > 1e-12 || math.Abs(a.Dist[1]-0.75) > 1e-12 {
+		t.Fatalf("not normalized: %v", a.Dist)
+	}
+}
+
+func TestNewRandomAdaptiveIsDistribution(t *testing.T) {
+	r := rng.New(5)
+	a, err := NewRandomAdaptive(r, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range a.Dist {
+		if p < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("dist sums to %v", sum)
+	}
+	if _, err := NewRandomAdaptive(nil, 10); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := NewRandomAdaptive(r, 0); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+}
+
+func TestAdaptiveDomainMismatch(t *testing.T) {
+	a, _ := NewAdaptive([]float64{0.5, 0.5})
+	grr, _ := ldp.NewGRR(10, 0.5)
+	r := rng.New(1)
+	if _, err := a.CraftReports(r, grr, 10); err == nil {
+		t.Fatal("domain mismatch accepted (reports)")
+	}
+	if _, err := a.CraftCounts(r, grr, 10); err == nil {
+		t.Fatal("domain mismatch accepted (counts)")
+	}
+}
+
+func TestAdaptiveFollowsDistribution(t *testing.T) {
+	d := 10
+	dist := make([]float64, d)
+	dist[2] = 0.7
+	dist[8] = 0.3
+	a, _ := NewAdaptive(dist)
+	grr, _ := ldp.NewGRR(d, 0.5)
+	r := rng.New(6)
+	counts, err := a.CraftCounts(r, grr, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(counts[2]) / 100000; math.Abs(got-0.7) > 0.01 {
+		t.Fatalf("item 2 rate %v", got)
+	}
+	if counts[0] != 0 || counts[5] != 0 {
+		t.Fatal("zero-probability items got mass")
+	}
+}
+
+func TestAdaptiveCountsMatchReports(t *testing.T) {
+	r := rng.New(7)
+	a, err := NewRandomAdaptive(r, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range protocols(t, 15, 0.5) {
+		assertReportsMatchCounts(t, a, p, 400, 40, 0.05)
+	}
+}
+
+func TestCraftZeroUsers(t *testing.T) {
+	r := rng.New(8)
+	a, _ := NewRandomAdaptive(r, 12)
+	for _, p := range protocols(t, 12, 0.5) {
+		reports, err := a.CraftReports(r, p, 0)
+		if err != nil || len(reports) != 0 {
+			t.Fatalf("%s: zero users gave %d reports (err %v)", p.Name(), len(reports), err)
+		}
+		counts, err := a.CraftCounts(r, p, 0)
+		if err != nil || sumCounts(counts) != 0 {
+			t.Fatalf("%s: zero users gave counts %v (err %v)", p.Name(), counts, err)
+		}
+	}
+}
+
+func TestCraftNegativeUsersRejected(t *testing.T) {
+	r := rng.New(9)
+	a, _ := NewRandomAdaptive(r, 12)
+	grr, _ := ldp.NewGRR(12, 0.5)
+	if _, err := a.CraftReports(r, grr, -1); err == nil {
+		t.Fatal("negative m accepted")
+	}
+	if _, err := a.CraftCounts(nil, grr, 1); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package attack
+
+import (
+	"fmt"
+
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+// Manip is the untargeted manipulation attack (Cheu et al., S&P'21) as
+// instantiated in the paper's evaluation (§VI-A.3): the attacker samples a
+// malicious sub-domain H ⊆ D and each malicious user submits crafted data
+// for an item drawn uniformly from H, distorting the whole aggregated
+// distribution.
+type Manip struct {
+	// SubsetFraction is |H|/d in (0,1]; the paper samples H from D, we
+	// default to one half.
+	SubsetFraction float64
+	// SubsetSeed makes the sub-domain choice deterministic per attack
+	// instance (the per-user sampling still uses the caller's generator).
+	SubsetSeed uint64
+}
+
+// NewManip returns a Manip attack with the given sub-domain fraction.
+func NewManip(subsetFraction float64, subsetSeed uint64) (*Manip, error) {
+	if !(subsetFraction > 0) || subsetFraction > 1 {
+		return nil, fmt.Errorf("attack: Manip subset fraction %v outside (0,1]", subsetFraction)
+	}
+	return &Manip{SubsetFraction: subsetFraction, SubsetSeed: subsetSeed}, nil
+}
+
+// Name implements Attack.
+func (a *Manip) Name() string { return "Manip" }
+
+// subDomain returns the malicious sub-domain H for a domain of size d.
+func (a *Manip) subDomain(d int) []int {
+	k := int(float64(d) * a.SubsetFraction)
+	if k < 1 {
+		k = 1
+	}
+	if k > d {
+		k = d
+	}
+	return rng.New(a.SubsetSeed).Sample(d, k)
+}
+
+// dist returns the attacker-designed distribution: uniform over H.
+func (a *Manip) dist(d int) []float64 {
+	h := a.subDomain(d)
+	dist := make([]float64, d)
+	for _, v := range h {
+		dist[v] = 1 / float64(len(h))
+	}
+	return dist
+}
+
+// CraftReports implements Attack.
+func (a *Manip) CraftReports(r *rng.Rand, p ldp.Protocol, m int64) ([]ldp.Report, error) {
+	if err := checkArgs(r, p, m); err != nil {
+		return nil, err
+	}
+	itemCounts, err := sampleItemCounts(r, a.dist(p.Params().Domain), m)
+	if err != nil {
+		return nil, err
+	}
+	return craftFromItems(r, p, itemsFromCounts(r, itemCounts))
+}
+
+// CraftCounts implements Attack.
+func (a *Manip) CraftCounts(r *rng.Rand, p ldp.Protocol, m int64) ([]int64, error) {
+	if err := checkArgs(r, p, m); err != nil {
+		return nil, err
+	}
+	itemCounts, err := sampleItemCounts(r, a.dist(p.Params().Domain), m)
+	if err != nil {
+		return nil, err
+	}
+	return countsFromItemCounts(r, p, itemCounts)
+}
+
+var _ Attack = (*Manip)(nil)

@@ -1,0 +1,278 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+// MGA is the Maximal Gain Attack (Cao et al., USENIX Security'21), the
+// targeted poisoning attack of the paper's evaluation. Malicious users
+// submit crafted encoded data that maximizes the frequency gain of the
+// attacker-chosen target items:
+//
+//   - GRR: each malicious user reports a target item (uniformly chosen),
+//     the only way a GRR report can support a target.
+//   - OUE: each malicious report sets ALL target bits to 1 and pads with
+//     random non-target bits so the total number of ones matches the
+//     honest expectation l = round(p + (d-1)q), evading count-based
+//     anomaly detection.
+//   - OLH: each malicious user searches hash seeds for one whose most
+//     popular hash value covers as many targets as possible and reports
+//     that (seed, value) pair. We realize the per-user search as a pool of
+//     independently searched reports that users draw from uniformly.
+type MGA struct {
+	targets []int
+	// SeedSearchBudget is the number of random seeds each pool entry
+	// examines when attacking OLH.
+	SeedSearchBudget int
+	// PoolSize is the number of distinct crafted OLH reports; malicious
+	// users draw uniformly from the pool.
+	PoolSize int
+}
+
+// Option defaults.
+const (
+	defaultSeedSearchBudget = 128
+	defaultPoolSize         = 64
+)
+
+// NewMGA builds an MGA instance promoting the given target items.
+func NewMGA(targets []int) (*MGA, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("attack: MGA requires at least one target")
+	}
+	seen := map[int]bool{}
+	for _, t := range targets {
+		if t < 0 {
+			return nil, fmt.Errorf("attack: negative target %d", t)
+		}
+		if seen[t] {
+			return nil, fmt.Errorf("attack: duplicate target %d", t)
+		}
+		seen[t] = true
+	}
+	cp := append([]int(nil), targets...)
+	return &MGA{
+		targets:          cp,
+		SeedSearchBudget: defaultSeedSearchBudget,
+		PoolSize:         defaultPoolSize,
+	}, nil
+}
+
+// RandomTargets draws r distinct target items uniformly from a domain of
+// size d, the paper's target-selection procedure ("we randomly select
+// target items", §VI-A.3).
+func RandomTargets(rand *rng.Rand, d, r int) ([]int, error) {
+	if rand == nil {
+		return nil, errNilRand
+	}
+	if r < 1 || r > d {
+		return nil, fmt.Errorf("attack: target count %d outside [1,%d]", r, d)
+	}
+	return rand.Sample(d, r), nil
+}
+
+// Name implements Attack.
+func (a *MGA) Name() string { return "MGA" }
+
+// Targets implements Targeted.
+func (a *MGA) Targets() []int { return append([]int(nil), a.targets...) }
+
+func (a *MGA) checkDomain(p ldp.Protocol) error {
+	d := p.Params().Domain
+	for _, t := range a.targets {
+		if t >= d {
+			return fmt.Errorf("attack: target %d outside domain [0,%d)", t, d)
+		}
+	}
+	return nil
+}
+
+// oueOnes returns the number of ones an honest OUE report has in
+// expectation: l = round(p + (d-1)q), never below the target count so all
+// targets fit.
+func oueOnes(pr ldp.Params, r int) int {
+	l := int(math.Round(pr.P + float64(pr.Domain-1)*pr.Q))
+	if l < r {
+		l = r
+	}
+	if l > pr.Domain {
+		l = pr.Domain
+	}
+	return l
+}
+
+// craftOUEReport builds one malicious OUE report: all targets plus
+// (l - r) random non-target pads.
+func (a *MGA) craftOUEReport(r *rng.Rand, pr ldp.Params) ldp.Report {
+	d := pr.Domain
+	bits := ldp.NewBitset(d)
+	isTarget := make([]bool, d)
+	for _, t := range a.targets {
+		bits.Set(t)
+		isTarget[t] = true
+	}
+	pad := oueOnes(pr, len(a.targets)) - len(a.targets)
+	if pad > 0 && d > len(a.targets) {
+		nonTargets := make([]int, 0, d-len(a.targets))
+		for v := 0; v < d; v++ {
+			if !isTarget[v] {
+				nonTargets = append(nonTargets, v)
+			}
+		}
+		if pad > len(nonTargets) {
+			pad = len(nonTargets)
+		}
+		for _, idx := range r.Sample(len(nonTargets), pad) {
+			bits.Set(nonTargets[idx])
+		}
+	}
+	return ldp.OUEReport{Bits: bits}
+}
+
+// searchOLHReport finds a (seed, value) pair maximizing the number of
+// targets hashing to value, examining budget random seeds.
+func (a *MGA) searchOLHReport(r *rng.Rand, olh *ldp.OLH) ldp.OLHReport {
+	g := olh.G()
+	bestSeed, bestValue, bestCover := uint64(0), 0, -1
+	hist := make([]int, g)
+	budget := a.SeedSearchBudget
+	if budget < 1 {
+		budget = 1
+	}
+	for trial := 0; trial < budget; trial++ {
+		seed := r.Uint64()
+		for i := range hist {
+			hist[i] = 0
+		}
+		for _, t := range a.targets {
+			hist[olh.Hash(seed, t)]++
+		}
+		for v, c := range hist {
+			if c > bestCover {
+				bestSeed, bestValue, bestCover = seed, v, c
+			}
+		}
+		if bestCover == len(a.targets) {
+			break // full coverage; no better seed exists
+		}
+	}
+	return ldp.OLHReport{Seed: bestSeed, Value: bestValue, G: g}
+}
+
+// olhPool builds the pool of searched OLH reports.
+func (a *MGA) olhPool(r *rng.Rand, olh *ldp.OLH) []ldp.OLHReport {
+	size := a.PoolSize
+	if size < 1 {
+		size = 1
+	}
+	pool := make([]ldp.OLHReport, size)
+	for i := range pool {
+		pool[i] = a.searchOLHReport(r, olh)
+	}
+	return pool
+}
+
+// CraftReports implements Attack.
+func (a *MGA) CraftReports(r *rng.Rand, p ldp.Protocol, m int64) ([]ldp.Report, error) {
+	if err := checkArgs(r, p, m); err != nil {
+		return nil, err
+	}
+	if err := a.checkDomain(p); err != nil {
+		return nil, err
+	}
+	reports := make([]ldp.Report, m)
+	switch proto := p.(type) {
+	case *ldp.GRR:
+		for i := range reports {
+			reports[i] = ldp.GRRReport(a.targets[r.Intn(len(a.targets))])
+		}
+	case *ldp.OUE, *ldp.SUE:
+		// Unary-encoding protocols share the crafted-vector shape: all
+		// target bits plus padding to the honest expected count of ones.
+		for i := range reports {
+			reports[i] = a.craftOUEReport(r, p.Params())
+		}
+	case *ldp.OLH:
+		pool := a.olhPool(r, proto)
+		for i := range reports {
+			reports[i] = pool[r.Intn(len(pool))]
+		}
+	default:
+		return nil, fmt.Errorf("attack: MGA does not support protocol %s", p.Name())
+	}
+	return reports, nil
+}
+
+// CraftCounts implements Attack.
+func (a *MGA) CraftCounts(r *rng.Rand, p ldp.Protocol, m int64) ([]int64, error) {
+	if err := checkArgs(r, p, m); err != nil {
+		return nil, err
+	}
+	if err := a.checkDomain(p); err != nil {
+		return nil, err
+	}
+	pr := p.Params()
+	d := pr.Domain
+	counts := make([]int64, d)
+	if m == 0 {
+		return counts, nil
+	}
+	switch proto := p.(type) {
+	case *ldp.GRR:
+		dist := make([]float64, d)
+		for _, t := range a.targets {
+			dist[t] = 1
+		}
+		return r.Multinomial(m, dist), nil
+	case *ldp.OUE, *ldp.SUE:
+		pad := oueOnes(pr, len(a.targets)) - len(a.targets)
+		isTarget := make([]bool, d)
+		for _, t := range a.targets {
+			isTarget[t] = true
+			counts[t] = m
+		}
+		nonTargets := d - len(a.targets)
+		if pad > 0 && nonTargets > 0 {
+			padProb := float64(pad) / float64(nonTargets)
+			for v := 0; v < d; v++ {
+				if !isTarget[v] {
+					counts[v] = r.Binomial(m, padProb)
+				}
+			}
+		}
+		return counts, nil
+	case *ldp.OLH:
+		pool := a.olhPool(r, proto)
+		uniform := make([]float64, len(pool))
+		for i := range uniform {
+			uniform[i] = 1
+		}
+		usage := r.Multinomial(m, uniform)
+		support := make([]int64, d)
+		for i, rep := range pool {
+			if usage[i] == 0 {
+				continue
+			}
+			for v := range support {
+				support[v] = 0
+			}
+			rep.AddSupports(support)
+			for v, s := range support {
+				counts[v] += s * usage[i]
+			}
+		}
+		return counts, nil
+	default:
+		return nil, fmt.Errorf("attack: MGA does not support protocol %s", p.Name())
+	}
+}
+
+var (
+	_ Attack   = (*MGA)(nil)
+	_ Targeted = (*MGA)(nil)
+)

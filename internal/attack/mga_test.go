@@ -1,0 +1,278 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+func TestNewMGAValidation(t *testing.T) {
+	if _, err := NewMGA(nil); err == nil {
+		t.Fatal("empty targets accepted")
+	}
+	if _, err := NewMGA([]int{1, 1}); err == nil {
+		t.Fatal("duplicate targets accepted")
+	}
+	if _, err := NewMGA([]int{-1}); err == nil {
+		t.Fatal("negative target accepted")
+	}
+}
+
+func TestMGATargetsCopied(t *testing.T) {
+	ts := []int{1, 2, 3}
+	a, _ := NewMGA(ts)
+	got := a.Targets()
+	got[0] = 99
+	if a.Targets()[0] != 1 {
+		t.Fatal("Targets aliases internal state")
+	}
+	ts[1] = 98
+	if a.Targets()[1] != 2 {
+		t.Fatal("constructor aliases caller slice")
+	}
+}
+
+func TestRandomTargets(t *testing.T) {
+	r := rng.New(2)
+	ts, err := RandomTargets(r, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, v := range ts {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("invalid targets %v", ts)
+		}
+		seen[v] = true
+	}
+	if _, err := RandomTargets(r, 5, 6); err == nil {
+		t.Fatal("r > d accepted")
+	}
+	if _, err := RandomTargets(nil, 5, 2); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestMGATargetOutsideDomain(t *testing.T) {
+	a, _ := NewMGA([]int{50})
+	grr, _ := ldp.NewGRR(10, 0.5)
+	r := rng.New(1)
+	if _, err := a.CraftReports(r, grr, 5); err == nil {
+		t.Fatal("target outside domain accepted")
+	}
+}
+
+func TestMGAGRRReportsOnlyTargets(t *testing.T) {
+	targets := []int{3, 7, 11}
+	a, _ := NewMGA(targets)
+	grr, _ := ldp.NewGRR(20, 0.5)
+	r := rng.New(3)
+	reports, err := a.CraftReports(r, grr, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isTarget := map[int]bool{3: true, 7: true, 11: true}
+	perTarget := map[int]int{}
+	for _, rep := range reports {
+		v := int(rep.(ldp.GRRReport))
+		if !isTarget[v] {
+			t.Fatalf("MGA-GRR reported non-target %d", v)
+		}
+		perTarget[v]++
+	}
+	// Uniform across targets (1/r each).
+	for _, tt := range targets {
+		got := float64(perTarget[tt]) / 3000
+		if math.Abs(got-1.0/3) > 0.05 {
+			t.Fatalf("target %d rate %v want 1/3", tt, got)
+		}
+	}
+}
+
+func TestMGAOUEReportShape(t *testing.T) {
+	const d, eps = 102, 0.5
+	targets := []int{0, 5, 10, 15, 20, 25, 30, 35, 40, 45}
+	a, _ := NewMGA(targets)
+	oue, _ := ldp.NewOUE(d, eps)
+	r := rng.New(4)
+	reports, err := a.CraftReports(r, oue, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := oue.Params()
+	wantOnes := int(math.Round(pr.P + float64(d-1)*pr.Q)) // honest expectation
+	for _, rep := range reports {
+		o := rep.(ldp.OUEReport)
+		for _, tt := range targets {
+			if !o.Bits.Get(tt) {
+				t.Fatalf("MGA-OUE report missing target bit %d", tt)
+			}
+		}
+		if got := o.Bits.Count(); got != wantOnes {
+			t.Fatalf("MGA-OUE report has %d ones want %d", got, wantOnes)
+		}
+	}
+}
+
+func TestMGAOUEPadBitsVary(t *testing.T) {
+	targets := []int{1}
+	a, _ := NewMGA(targets)
+	oue, _ := ldp.NewOUE(50, 0.5)
+	r := rng.New(5)
+	reports, _ := a.CraftReports(r, oue, 200)
+	// Pads must be random: some non-target bit should differ across reports.
+	first := reports[0].(ldp.OUEReport)
+	same := true
+	for _, rep := range reports[1:] {
+		o := rep.(ldp.OUEReport)
+		for v := 0; v < 50; v++ {
+			if o.Bits.Get(v) != first.Bits.Get(v) {
+				same = false
+				break
+			}
+		}
+		if !same {
+			break
+		}
+	}
+	if same {
+		t.Fatal("all MGA-OUE pads identical; padding not randomized")
+	}
+}
+
+func TestMGAOLHCoversTargets(t *testing.T) {
+	const d, eps = 102, 0.5
+	targets := []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	a, _ := NewMGA(targets)
+	olh, _ := ldp.NewOLH(d, eps)
+	r := rng.New(6)
+	reports, err := a.CraftReports(r, olh, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average target coverage must beat the random-hash baseline (1/g per
+	// target) by a wide margin thanks to the seed search.
+	var covered float64
+	for _, rep := range reports {
+		for _, tt := range targets {
+			if rep.Supports(tt) {
+				covered++
+			}
+		}
+	}
+	avg := covered / float64(len(reports)) / float64(len(targets))
+	baseline := 1 / float64(olh.G())
+	if avg < baseline+0.1 {
+		t.Fatalf("MGA-OLH coverage %v not above baseline %v", avg, baseline)
+	}
+}
+
+func TestMGACountsMatchReports(t *testing.T) {
+	targets := []int{1, 4, 9}
+	a, _ := NewMGA(targets)
+	for _, p := range protocols(t, 25, 0.5) {
+		assertReportsMatchCounts(t, a, p, 400, 40, 0.06)
+	}
+}
+
+// TestMGAFrequencyGainShape verifies the attack's headline effect: the
+// poisoned estimate inflates target frequencies by roughly beta/(p-q) in
+// total for GRR and r*beta/(p-q) for OUE (paper Fig. 4 discussion).
+func TestMGAFrequencyGainShape(t *testing.T) {
+	const d, eps = 102, 0.5
+	const n, m = int64(40000), int64(2000) // beta ~= 0.048
+	targets, _ := RandomTargets(rng.New(10), d, 10)
+	a, _ := NewMGA(targets)
+
+	genuineCounts := make([]int64, d) // all users hold item 0
+	genuineCounts[0] = n
+
+	for _, p := range protocols(t, d, eps) {
+		r := rng.New(11)
+		pr := p.Params()
+		gen, err := p.SimulateGenuineCounts(r, genuineCounts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mal, err := a.CraftCounts(r, p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		combined := make([]int64, d)
+		for v := range combined {
+			combined[v] = gen[v] + mal[v]
+		}
+		poisoned, err := ldp.Unbias(combined, n+m, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		genOnly, err := ldp.Unbias(gen, n, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fg float64
+		for _, tt := range targets {
+			fg += poisoned[tt] - genOnly[tt]
+		}
+		beta := float64(m) / float64(n+m)
+		var want float64
+		switch p.Name() {
+		case "GRR":
+			// Each malicious report adds 1 to one target's count; unbiasing
+			// subtracts q per report: FG ~= beta*(1-r*q)/(p-q).
+			want = beta * (1 - 10*pr.Q) / (pr.P - pr.Q)
+		case "OUE":
+			// Every report supports all 10 targets: FG ~= 10*beta*(1-q)/(p-q).
+			want = 10 * beta * (1 - pr.Q) / (pr.P - pr.Q)
+		case "OLH":
+			// Between the single-target and all-target bounds.
+			lo, hi := beta/(pr.P-pr.Q)*0.3, 10*beta/(pr.P-pr.Q)
+			if fg < lo || fg > hi {
+				t.Fatalf("OLH FG %v outside [%v,%v]", fg, lo, hi)
+			}
+			continue
+		}
+		if math.Abs(fg-want)/want > 0.25 {
+			t.Fatalf("%s FG %v want ~%v", p.Name(), fg, want)
+		}
+	}
+}
+
+func TestMGASUECrafting(t *testing.T) {
+	const d, eps = 40, 0.5
+	targets := []int{1, 9, 17}
+	a, _ := NewMGA(targets)
+	sue, err := ldp.NewSUE(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(12)
+	reports, err := a.CraftReports(r, sue, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := sue.Params()
+	wantOnes := int(math.Round(pr.P + float64(d-1)*pr.Q))
+	for _, rep := range reports {
+		o := rep.(ldp.OUEReport)
+		for _, tt := range targets {
+			if !o.Bits.Get(tt) {
+				t.Fatalf("MGA-SUE report missing target %d", tt)
+			}
+		}
+		if o.Bits.Count() != wantOnes {
+			t.Fatalf("MGA-SUE report has %d ones want %d", o.Bits.Count(), wantOnes)
+		}
+	}
+	counts, err := a.CraftCounts(r, sue, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range targets {
+		if counts[tt] != 500 {
+			t.Fatalf("MGA-SUE fast path target count %d want 500", counts[tt])
+		}
+	}
+}

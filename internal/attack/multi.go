@@ -1,0 +1,144 @@
+package attack
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+// Multi composes several attackers controlling disjoint groups of
+// malicious users (the multi-attacker threat model of §VII-C). The m
+// malicious users are split across the attackers according to Weights
+// (uniform when nil); as the paper observes, this is equivalent to one
+// attacker sampling from the mixture distribution.
+type Multi struct {
+	Attacks []Attack
+	Weights []float64
+}
+
+// NewMulti validates and builds a multi-attacker composition.
+func NewMulti(attacks []Attack, weights []float64) (*Multi, error) {
+	if len(attacks) == 0 {
+		return nil, errors.New("attack: Multi requires at least one attack")
+	}
+	for i, a := range attacks {
+		if a == nil {
+			return nil, fmt.Errorf("attack: nil attack at index %d", i)
+		}
+	}
+	if weights != nil {
+		if len(weights) != len(attacks) {
+			return nil, fmt.Errorf("attack: %d weights for %d attacks", len(weights), len(attacks))
+		}
+		var total float64
+		for i, w := range weights {
+			if w < 0 || w != w {
+				return nil, fmt.Errorf("attack: invalid weight %g at index %d", w, i)
+			}
+			total += w
+		}
+		if total <= 0 {
+			return nil, errors.New("attack: zero-mass weights")
+		}
+	}
+	return &Multi{Attacks: attacks, Weights: weights}, nil
+}
+
+// NewMultiAdaptive builds the paper's MUL-AA experiment setup: k
+// attackers, each running an independently random adaptive attack, with
+// malicious users assigned uniformly at random.
+func NewMultiAdaptive(r *rng.Rand, k, domain int) (*Multi, error) {
+	if r == nil {
+		return nil, errNilRand
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("attack: invalid attacker count %d", k)
+	}
+	attacks := make([]Attack, k)
+	for i := range attacks {
+		aa, err := NewRandomAdaptive(r, domain)
+		if err != nil {
+			return nil, err
+		}
+		attacks[i] = aa
+	}
+	return NewMulti(attacks, nil)
+}
+
+// Name implements Attack.
+func (a *Multi) Name() string {
+	names := make([]string, len(a.Attacks))
+	for i, sub := range a.Attacks {
+		names[i] = sub.Name()
+	}
+	return "MUL(" + strings.Join(names, ",") + ")"
+}
+
+// split apportions m malicious users across the attackers.
+func (a *Multi) split(r *rng.Rand, m int64) []int64 {
+	w := a.Weights
+	if w == nil {
+		w = make([]float64, len(a.Attacks))
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	return r.Multinomial(m, w)
+}
+
+// CraftReports implements Attack.
+func (a *Multi) CraftReports(r *rng.Rand, p ldp.Protocol, m int64) ([]ldp.Report, error) {
+	if err := checkArgs(r, p, m); err != nil {
+		return nil, err
+	}
+	var out []ldp.Report
+	for i, mi := range a.split(r, m) {
+		reports, err := a.Attacks[i].CraftReports(r, p, mi)
+		if err != nil {
+			return nil, fmt.Errorf("attack %d (%s): %w", i, a.Attacks[i].Name(), err)
+		}
+		out = append(out, reports...)
+	}
+	return out, nil
+}
+
+// CraftCounts implements Attack.
+func (a *Multi) CraftCounts(r *rng.Rand, p ldp.Protocol, m int64) ([]int64, error) {
+	if err := checkArgs(r, p, m); err != nil {
+		return nil, err
+	}
+	counts := make([]int64, p.Params().Domain)
+	for i, mi := range a.split(r, m) {
+		sub, err := a.Attacks[i].CraftCounts(r, p, mi)
+		if err != nil {
+			return nil, fmt.Errorf("attack %d (%s): %w", i, a.Attacks[i].Name(), err)
+		}
+		for v, c := range sub {
+			counts[v] += c
+		}
+	}
+	return counts, nil
+}
+
+// Targets implements Targeted when any sub-attack is targeted, returning
+// the union of their target sets.
+func (a *Multi) Targets() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, sub := range a.Attacks {
+		if tg, ok := sub.(Targeted); ok {
+			for _, t := range tg.Targets() {
+				if !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		}
+	}
+	return out
+}
+
+var _ Attack = (*Multi)(nil)

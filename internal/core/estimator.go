@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ldprecover/internal/stats"
+)
+
+// EstimateGenuine applies the genuine frequency estimator (Eq. 19)
+// pointwise:
+//
+//	f̃_X(v) = (1+η)·f̃_Z(v) − η·f̃_Y(v)
+//
+// where poisoned is f̃_Z, malicious is (an estimate of) f̃_Y, and eta is
+// the assumed ratio m/n of malicious to genuine users. The paper shows
+// (§VI-D) that overestimating η is safe, so servers use a generous default.
+func EstimateGenuine(poisoned, malicious []float64, eta float64) ([]float64, error) {
+	if len(poisoned) != len(malicious) {
+		return nil, fmt.Errorf("core: poisoned length %d, malicious length %d",
+			len(poisoned), len(malicious))
+	}
+	if len(poisoned) == 0 {
+		return nil, errors.New("core: empty frequency vectors")
+	}
+	if eta < 0 || math.IsNaN(eta) || math.IsInf(eta, 0) {
+		return nil, fmt.Errorf("core: invalid eta %v", eta)
+	}
+	if !stats.AllFinite(poisoned) || !stats.AllFinite(malicious) {
+		return nil, errors.New("core: non-finite frequencies")
+	}
+	out := make([]float64, len(poisoned))
+	for v := range poisoned {
+		out[v] = (1+eta)*poisoned[v] - eta*malicious[v]
+	}
+	return out, nil
+}
+
+// InvertEstimate recovers f̃_Z from f̃_X and f̃_Y — the algebraic inverse
+// of EstimateGenuine, used by tests and by consistency checks:
+//
+//	f̃_Z(v) = (f̃_X(v) + η·f̃_Y(v)) / (1+η)
+func InvertEstimate(genuine, malicious []float64, eta float64) ([]float64, error) {
+	if len(genuine) != len(malicious) {
+		return nil, fmt.Errorf("core: genuine length %d, malicious length %d",
+			len(genuine), len(malicious))
+	}
+	if eta < 0 || math.IsNaN(eta) || math.IsInf(eta, 0) {
+		return nil, fmt.Errorf("core: invalid eta %v", eta)
+	}
+	out := make([]float64, len(genuine))
+	for v := range genuine {
+		out[v] = (genuine[v] + eta*malicious[v]) / (1 + eta)
+	}
+	return out, nil
+}

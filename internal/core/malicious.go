@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+)
+
+// MaliciousSum returns the server-side estimate of the summation of
+// malicious frequencies over all items (Eq. 21):
+//
+//	Σ_v f̃_Y(v) ≜ (1 - q·d) / (p - q)
+//
+// It follows from the aggregation algorithm alone — malicious data bypass
+// perturbation but are still unbiased-corrected by Eq. (11) — so the
+// server can compute it with no knowledge of the attack.
+func MaliciousSum(pr Params) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	return (1 - pr.Q*float64(pr.Domain)) / (pr.P - pr.Q), nil
+}
+
+// NonKnowledgeMalicious allocates the malicious-frequency summation when
+// the server knows nothing about the attack (Eq. 26): the domain splits
+// into D0 = {v : f̃_Z(v) <= 0} (items assumed untouched) and D1 = D \ D0
+// (potential attack items), and the malicious mass spreads uniformly over
+// D1. It returns the per-item malicious frequency estimate f̃'_Y along
+// with the D1 membership mask.
+//
+// If every poisoned frequency is non-positive (possible only in degenerate
+// inputs), the whole domain is treated as D1 so the allocation remains
+// well defined.
+func NonKnowledgeMalicious(poisoned []float64, pr Params) (malicious []float64, inD1 []bool, err error) {
+	if err := pr.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(poisoned) != pr.Domain {
+		return nil, nil, fmt.Errorf("core: poisoned vector length %d, domain %d", len(poisoned), pr.Domain)
+	}
+	sum, err := MaliciousSum(pr)
+	if err != nil {
+		return nil, nil, err
+	}
+	inD1 = make([]bool, len(poisoned))
+	d1 := 0
+	for v, f := range poisoned {
+		if f > 0 {
+			inD1[v] = true
+			d1++
+		}
+	}
+	if d1 == 0 {
+		for v := range inD1 {
+			inD1[v] = true
+		}
+		d1 = len(inD1)
+	}
+	malicious = make([]float64, len(poisoned))
+	share := sum / float64(d1)
+	for v := range malicious {
+		if inD1[v] {
+			malicious[v] = share
+		}
+	}
+	return malicious, inD1, nil
+}
+
+// PartialKnowledgeMalicious allocates the malicious-frequency summation
+// when the server knows the attacker-selected items T (Eq. 28–30,
+// LDPRecover*): items outside T carry the aggregation-induced negative
+// mass -q·d/(|D'|·(p-q)) and the remainder spreads uniformly over T.
+func PartialKnowledgeMalicious(targets []int, pr Params) ([]float64, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("core: partial knowledge requires a non-empty target set")
+	}
+	d := pr.Domain
+	isTarget := make([]bool, d)
+	for _, t := range targets {
+		if t < 0 || t >= d {
+			return nil, fmt.Errorf("core: target %d outside domain [0,%d)", t, d)
+		}
+		if isTarget[t] {
+			return nil, fmt.Errorf("core: duplicate target %d", t)
+		}
+		isTarget[t] = true
+	}
+	sum, err := MaliciousSum(pr)
+	if err != nil {
+		return nil, err
+	}
+	nonTargets := d - len(targets)
+	malicious := make([]float64, d)
+	if nonTargets == 0 {
+		// T = D: everything is a target; spread the whole sum uniformly.
+		share := sum / float64(d)
+		for v := range malicious {
+			malicious[v] = share
+		}
+		return malicious, nil
+	}
+	// Eq. 28: Σ_{v∈D'} f̃_Y = -q·d/(p-q), spread uniformly over D'.
+	nonTargetSum := -pr.Q * float64(d) / (pr.P - pr.Q)
+	nonTargetShare := nonTargetSum / float64(nonTargets)
+	// Eq. 29: the target set carries the remainder, spread uniformly.
+	targetShare := (sum - nonTargetSum) / float64(len(targets))
+	for v := range malicious {
+		if isTarget[v] {
+			malicious[v] = targetShare
+		} else {
+			malicious[v] = nonTargetShare
+		}
+	}
+	return malicious, nil
+}

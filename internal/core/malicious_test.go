@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/stats"
+)
+
+// grrParams returns the aggregation triple for GRR at (d, eps).
+func grrParams(d int, eps float64) Params {
+	expE := math.Exp(eps)
+	return Params{
+		P:      expE / (float64(d) - 1 + expE),
+		Q:      1 / (float64(d) - 1 + expE),
+		Domain: d,
+	}
+}
+
+// oueParams returns the aggregation triple for OUE at (d, eps).
+func oueParams(d int, eps float64) Params {
+	return Params{P: 0.5, Q: 1 / (math.Exp(eps) + 1), Domain: d}
+}
+
+// olhParams returns the aggregation triple for OLH at (d, eps).
+func olhParams(d int, eps float64) Params {
+	expE := math.Exp(eps)
+	g := math.Ceil(expE + 1)
+	return Params{P: expE / (expE + g - 1), Q: 1 / g, Domain: d}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := grrParams(102, 0.5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{P: 0.5, Q: 0.1, Domain: 1},
+		{P: 0.1, Q: 0.5, Domain: 10},
+		{P: math.NaN(), Q: 0.1, Domain: 10},
+		{P: 1.2, Q: 0.1, Domain: 10},
+		{P: 0.5, Q: -0.1, Domain: 10},
+	}
+	for i, pr := range bad {
+		if err := pr.Validate(); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, pr)
+		}
+	}
+}
+
+func TestMaliciousSumFormula(t *testing.T) {
+	// GRR: q·d = d/(d-1+e^eps) < 1, so the sum is positive and close to 1.
+	pr := grrParams(102, 0.5)
+	sum, err := MaliciousSum(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1 - pr.Q*102) / (pr.P - pr.Q)
+	if math.Abs(sum-want) > 1e-12 {
+		t.Fatalf("sum %v want %v", sum, want)
+	}
+	if sum < 0.9 || sum > 1.1 {
+		t.Fatalf("GRR malicious sum %v not ~1", sum)
+	}
+
+	// OUE at eps=0.5, d=102: q·d >> 1, so the learnt sum is strongly
+	// negative (the paper's learning reflects unbias subtraction).
+	sumOUE, err := MaliciousSum(oueParams(102, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumOUE >= 0 {
+		t.Fatalf("OUE malicious sum %v should be negative", sumOUE)
+	}
+
+	if _, err := MaliciousSum(Params{}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestNonKnowledgeMaliciousSplit(t *testing.T) {
+	pr := grrParams(6, 0.5)
+	poisoned := []float64{0.5, -0.1, 0.3, 0, 0.2, 0.1}
+	mal, inD1, err := NonKnowledgeMalicious(poisoned, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := MaliciousSum(pr)
+	// D0 = {1, 3} (f <= 0); D1 = the other four.
+	wantD1 := []bool{true, false, true, false, true, true}
+	for v := range wantD1 {
+		if inD1[v] != wantD1[v] {
+			t.Fatalf("D1 mask %v want %v", inD1, wantD1)
+		}
+	}
+	for v, m := range mal {
+		if !inD1[v] && m != 0 {
+			t.Fatalf("D0 item %d has malicious mass %v", v, m)
+		}
+		if inD1[v] && math.Abs(m-sum/4) > 1e-12 {
+			t.Fatalf("D1 item %d share %v want %v", v, m, sum/4)
+		}
+	}
+	if s := stats.Sum(mal); math.Abs(s-sum) > 1e-9 {
+		t.Fatalf("allocation sums to %v want %v", s, sum)
+	}
+}
+
+func TestNonKnowledgeMaliciousAllNonPositive(t *testing.T) {
+	pr := grrParams(3, 0.5)
+	mal, inD1, err := NonKnowledgeMalicious([]float64{-1, 0, -0.5}, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range inD1 {
+		if !inD1[v] {
+			t.Fatal("degenerate input should treat whole domain as D1")
+		}
+	}
+	sum, _ := MaliciousSum(pr)
+	if s := stats.Sum(mal); math.Abs(s-sum) > 1e-9 {
+		t.Fatalf("allocation sums to %v want %v", s, sum)
+	}
+}
+
+func TestNonKnowledgeMaliciousValidation(t *testing.T) {
+	pr := grrParams(4, 0.5)
+	if _, _, err := NonKnowledgeMalicious([]float64{1, 2}, pr); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := NonKnowledgeMalicious(nil, Params{}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestPartialKnowledgeMaliciousAllocation(t *testing.T) {
+	pr := oueParams(10, 0.5)
+	targets := []int{2, 7}
+	mal, err := PartialKnowledgeMalicious(targets, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 30: non-targets get -q*d/(|D'|(p-q)) each.
+	wantNonTarget := -pr.Q * 10 / (8 * (pr.P - pr.Q))
+	for v, m := range mal {
+		if v == 2 || v == 7 {
+			continue
+		}
+		if math.Abs(m-wantNonTarget) > 1e-12 {
+			t.Fatalf("non-target %d share %v want %v", v, m, wantNonTarget)
+		}
+	}
+	// Targets share the remainder: (sum - nonTargetSum)/|T| = 1/(2(p-q)).
+	wantTarget := 1 / (2 * (pr.P - pr.Q))
+	if math.Abs(mal[2]-wantTarget) > 1e-9 || math.Abs(mal[7]-wantTarget) > 1e-9 {
+		t.Fatalf("target share %v / %v want %v", mal[2], mal[7], wantTarget)
+	}
+	// Whole allocation sums to the learnt summation.
+	sum, _ := MaliciousSum(pr)
+	if s := stats.Sum(mal); math.Abs(s-sum) > 1e-9 {
+		t.Fatalf("allocation sums to %v want %v", s, sum)
+	}
+}
+
+func TestPartialKnowledgeAllTargets(t *testing.T) {
+	pr := grrParams(5, 0.5)
+	mal, err := PartialKnowledgeMalicious([]int{0, 1, 2, 3, 4}, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := MaliciousSum(pr)
+	for _, m := range mal {
+		if math.Abs(m-sum/5) > 1e-12 {
+			t.Fatalf("uniform spread expected, got %v", mal)
+		}
+	}
+}
+
+func TestPartialKnowledgeValidation(t *testing.T) {
+	pr := grrParams(5, 0.5)
+	if _, err := PartialKnowledgeMalicious(nil, pr); err == nil {
+		t.Fatal("empty targets accepted")
+	}
+	if _, err := PartialKnowledgeMalicious([]int{5}, pr); err == nil {
+		t.Fatal("out-of-domain target accepted")
+	}
+	if _, err := PartialKnowledgeMalicious([]int{1, 1}, pr); err == nil {
+		t.Fatal("duplicate target accepted")
+	}
+	if _, err := PartialKnowledgeMalicious([]int{-1}, pr); err == nil {
+		t.Fatal("negative target accepted")
+	}
+}
+
+func TestEstimateGenuineAlgebra(t *testing.T) {
+	poisoned := []float64{0.4, 0.3, 0.3}
+	malicious := []float64{1, 0, -1}
+	got, err := EstimateGenuine(poisoned, malicious, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5*0.4 - 0.5, 1.5 * 0.3, 1.5*0.3 + 0.5}
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-12 {
+			t.Fatalf("estimate %v want %v", got, want)
+		}
+	}
+}
+
+func TestEstimateInvertRoundTrip(t *testing.T) {
+	poisoned := []float64{0.1, 0.5, -0.2, 0.6}
+	malicious := []float64{0.3, -0.1, 0.2, 0.6}
+	est, err := EstimateGenuine(poisoned, malicious, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := InvertEstimate(est, malicious, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range poisoned {
+		if math.Abs(back[v]-poisoned[v]) > 1e-12 {
+			t.Fatalf("round trip %v want %v", back, poisoned)
+		}
+	}
+}
+
+func TestEstimateGenuineValidation(t *testing.T) {
+	if _, err := EstimateGenuine([]float64{1}, []float64{1, 2}, 0.2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := EstimateGenuine(nil, nil, 0.2); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := EstimateGenuine([]float64{1}, []float64{1}, -0.1); err == nil {
+		t.Fatal("negative eta accepted")
+	}
+	if _, err := EstimateGenuine([]float64{math.NaN()}, []float64{1}, 0.2); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := InvertEstimate([]float64{1}, []float64{1, 2}, 0.2); err == nil {
+		t.Fatal("invert length mismatch accepted")
+	}
+	if _, err := InvertEstimate([]float64{1}, []float64{1}, math.Inf(1)); err == nil {
+		t.Fatal("invert eta=Inf accepted")
+	}
+}

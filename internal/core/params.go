@@ -1,0 +1,48 @@
+// Package core implements LDPRecover, the paper's contribution: recovery
+// of genuine aggregated frequencies from frequencies poisoned by malicious
+// users, without knowledge of the attack (§V).
+//
+// The pipeline follows the paper's three steps. Step 1 is the genuine
+// frequency estimator f̃_X = (1+η)·f̃_Z − η·f̃_Y (Eq. 19), whose asymptotic
+// moments (Lemmas 1–2, Theorems 1–3) and Berry–Esseen approximation error
+// (Theorems 4–5) live in theory.go. Step 2 learns the summation of
+// malicious frequencies from the protocol's aggregation probabilities
+// alone (Eq. 21), with the non-knowledge allocation of Eq. 26 or the
+// partial-knowledge allocation of Eq. 30 when the attacker's target items
+// are known (LDPRecover*). Step 3 solves the constraint-inference problem
+// by the iterative KKT refinement of Algorithm 1 (equivalently, Euclidean
+// projection onto the probability simplex).
+//
+// The package depends only on the stats substrate; protocol objects are
+// reduced to the aggregation triple (p, q, d) via Params.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params is the aggregation-side description of the LDP protocol the
+// poisoned frequencies came from: Eq. (11)'s p and q and the domain size.
+// For GRR p = e^ε/(d-1+e^ε), q = 1/(d-1+e^ε); for OUE p = 1/2,
+// q = 1/(e^ε+1); for OLH p = e^ε/(e^ε+g-1), q = 1/g.
+type Params struct {
+	// P is the probability a report supports its true item.
+	P float64
+	// Q is the probability a report supports any other given item.
+	Q float64
+	// Domain is the number of items d.
+	Domain int
+}
+
+// Validate checks the parameter triple.
+func (p Params) Validate() error {
+	if p.Domain < 2 {
+		return fmt.Errorf("core: domain %d < 2", p.Domain)
+	}
+	if math.IsNaN(p.P) || math.IsNaN(p.Q) ||
+		!(p.P > p.Q) || p.P <= 0 || p.P > 1 || p.Q < 0 || p.Q >= 1 {
+		return fmt.Errorf("core: invalid probabilities p=%v q=%v", p.P, p.Q)
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldprecover/internal/rng"
+	"ldprecover/internal/stats"
+)
+
+// randomParams draws a valid Params triple.
+func randomParams(r *rng.Rand) Params {
+	d := r.Intn(98) + 2
+	q := 0.01 + 0.5*r.Float64()
+	p := q + 0.01 + (0.98-q)*r.Float64()
+	if p > 1 {
+		p = 1
+	}
+	return Params{P: p, Q: q, Domain: d}
+}
+
+// TestPartialAllocationSumsProperty: for any valid parameters and target
+// set, the partial-knowledge allocation must sum exactly to the learnt
+// malicious summation (Eq. 29 conservation).
+func TestPartialAllocationSumsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		pr := randomParams(r)
+		k := r.Intn(pr.Domain) + 1
+		targets := r.Sample(pr.Domain, k)
+		mal, err := PartialKnowledgeMalicious(targets, pr)
+		if err != nil {
+			return false
+		}
+		want, err := MaliciousSum(pr)
+		if err != nil {
+			return false
+		}
+		return math.Abs(stats.Sum(mal)-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonKnowledgeAllocationSumsProperty: same conservation for the
+// non-knowledge allocation over any poisoned vector.
+func TestNonKnowledgeAllocationSumsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		pr := randomParams(r)
+		poisoned := make([]float64, pr.Domain)
+		for v := range poisoned {
+			poisoned[v] = 3 * (r.Float64() - 0.4)
+		}
+		mal, _, err := NonKnowledgeMalicious(poisoned, pr)
+		if err != nil {
+			return false
+		}
+		want, err := MaliciousSum(pr)
+		if err != nil {
+			return false
+		}
+		return math.Abs(stats.Sum(mal)-want) < 1e-6*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverDeterministicProperty: identical inputs yield identical
+// outputs (no hidden randomness in the recovery path).
+func TestRecoverDeterministicProperty(t *testing.T) {
+	f := func(seed uint64, etaRaw uint8, partial bool) bool {
+		r := rng.New(seed)
+		pr := randomParams(r)
+		poisoned := make([]float64, pr.Domain)
+		for v := range poisoned {
+			poisoned[v] = 2 * (r.Float64() - 0.3)
+		}
+		opts := Options{Eta: 0.01 + float64(etaRaw%40)/100}
+		if partial {
+			k := r.Intn(pr.Domain) + 1
+			opts.Targets = r.Sample(pr.Domain, k)
+		}
+		a, err1 := Recover(poisoned, pr, opts)
+		b, err2 := Recover(poisoned, pr, opts)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for v := range a.Frequencies {
+			if a.Frequencies[v] != b.Frequencies[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEstimatorUniformShiftInvarianceProperty: adding a constant to both
+// channels shifts the estimator by the same constant (affinity), which is
+// what makes the method robust to misspecified malicious totals after
+// projection.
+func TestEstimatorUniformShiftInvarianceProperty(t *testing.T) {
+	f := func(seed uint64, cRaw int8) bool {
+		r := rng.New(seed)
+		d := r.Intn(50) + 2
+		c := float64(cRaw) / 16
+		eta := 0.1 + r.Float64()/2
+		poisoned := make([]float64, d)
+		malicious := make([]float64, d)
+		for v := range poisoned {
+			poisoned[v] = r.Float64()
+			malicious[v] = 2 * (r.Float64() - 0.5)
+		}
+		base, err := EstimateGenuine(poisoned, malicious, eta)
+		if err != nil {
+			return false
+		}
+		shiftedP := make([]float64, d)
+		for v := range shiftedP {
+			shiftedP[v] = poisoned[v] + c
+		}
+		shifted, err := EstimateGenuine(shiftedP, malicious, eta)
+		if err != nil {
+			return false
+		}
+		for v := range base {
+			if math.Abs(shifted[v]-base[v]-(1+eta)*c) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefineTranslationInvarianceProperty: projecting x and x + c·1 onto
+// the simplex yields the same point (the sum constraint absorbs uniform
+// shifts) — the mechanism behind LDPRecover's robustness to the learnt
+// malicious total.
+func TestRefineTranslationInvarianceProperty(t *testing.T) {
+	f := func(seed uint64, cRaw int8) bool {
+		r := rng.New(seed)
+		d := r.Intn(40) + 2
+		c := float64(cRaw) / 8
+		x := make([]float64, d)
+		y := make([]float64, d)
+		for v := range x {
+			x[v] = 4 * (r.Float64() - 0.5)
+			y[v] = x[v] + c
+		}
+		px, err1 := RefineKKT(x)
+		py, err2 := RefineKKT(y)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for v := range px {
+			if math.Abs(px[v]-py[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ldprecover/internal/stats"
+)
+
+// DefaultEta is the paper's default recovery parameter η = m/n. The server
+// does not know the true ratio; §VI-A.4 sets a deliberately generous 0.2
+// (well above the default attack's β/(1-β) ≈ 0.053) and §VI-D shows
+// recovery degrades gracefully under η misspecification.
+const DefaultEta = 0.2
+
+// Options configures a recovery run.
+type Options struct {
+	// Eta is the assumed malicious-to-genuine user ratio η. Zero means
+	// DefaultEta; to run the estimator with a literal η=0 (no deduction)
+	// use a tiny positive value.
+	Eta float64
+	// Targets, when non-nil, switches to partial-knowledge recovery
+	// (LDPRecover*): the attacker-selected items of Eq. 28–31.
+	Targets []int
+	// MaliciousOverride, when non-nil, bypasses malicious-frequency
+	// learning and uses the supplied per-item malicious frequency vector
+	// f̃_Y directly. This is the integration hook for defenses that
+	// estimate malicious statistics externally, e.g. the k-means defense
+	// of §VII-B (LDPRecover-KM).
+	MaliciousOverride []float64
+	// Refiner solves the final CI projection; nil means RefineKKT
+	// (Algorithm 1).
+	Refiner Refiner
+	// SkipRefine returns the raw estimator output without projecting onto
+	// the simplex — ablation and diagnostics only.
+	SkipRefine bool
+}
+
+// Result carries the recovery outputs.
+type Result struct {
+	// Frequencies is the recovered frequency vector f'_X̃: non-negative,
+	// summing to one (unless SkipRefine was set).
+	Frequencies []float64
+	// EstimatedGenuine is the pre-refinement estimator output f̃_X (Eq. 27
+	// or Eq. 31).
+	EstimatedGenuine []float64
+	// Malicious is the malicious frequency estimate f̃'_Y / f̃*_Y used by
+	// the estimator.
+	Malicious []float64
+	// MaliciousSum is the learnt summation Σ_v f̃_Y(v) (Eq. 21).
+	MaliciousSum float64
+	// Eta is the η actually used.
+	Eta float64
+	// PartialKnowledge records whether target information was used.
+	PartialKnowledge bool
+}
+
+// Recover runs LDPRecover (Algorithm 1) on a poisoned frequency vector
+// aggregated under the protocol described by pr. With opts.Targets set it
+// runs LDPRecover*; with opts.MaliciousOverride set it uses externally
+// learnt malicious statistics (LDPRecover-KM).
+func Recover(poisoned []float64, pr Params, opts Options) (*Result, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if len(poisoned) != pr.Domain {
+		return nil, fmt.Errorf("core: poisoned vector length %d, domain %d",
+			len(poisoned), pr.Domain)
+	}
+	if !stats.AllFinite(poisoned) {
+		return nil, errors.New("core: poisoned vector contains NaN or Inf")
+	}
+	eta := opts.Eta
+	if eta == 0 {
+		eta = DefaultEta
+	}
+	if eta < 0 {
+		return nil, fmt.Errorf("core: negative eta %v", eta)
+	}
+
+	sum, err := MaliciousSum(pr)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: malicious frequency learning (or external override).
+	var malicious []float64
+	partial := false
+	switch {
+	case opts.MaliciousOverride != nil:
+		if len(opts.MaliciousOverride) != pr.Domain {
+			return nil, fmt.Errorf("core: malicious override length %d, domain %d",
+				len(opts.MaliciousOverride), pr.Domain)
+		}
+		if !stats.AllFinite(opts.MaliciousOverride) {
+			return nil, errors.New("core: malicious override contains NaN or Inf")
+		}
+		malicious = append([]float64(nil), opts.MaliciousOverride...)
+		sum = stats.Sum(malicious)
+	case opts.Targets != nil:
+		malicious, err = PartialKnowledgeMalicious(opts.Targets, pr)
+		if err != nil {
+			return nil, err
+		}
+		partial = true
+	default:
+		malicious, _, err = NonKnowledgeMalicious(poisoned, pr)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Step 1: genuine frequency estimator (Eq. 27 / Eq. 31).
+	estimate, err := EstimateGenuine(poisoned, malicious, eta)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		EstimatedGenuine: estimate,
+		Malicious:        malicious,
+		MaliciousSum:     sum,
+		Eta:              eta,
+		PartialKnowledge: partial,
+	}
+	if opts.SkipRefine {
+		res.Frequencies = append([]float64(nil), estimate...)
+		return res, nil
+	}
+
+	// Step 3: CI refinement.
+	refiner := opts.Refiner
+	if refiner == nil {
+		refiner = RefineKKT
+	}
+	refined, err := refiner(estimate)
+	if err != nil {
+		return nil, fmt.Errorf("core: refinement: %w", err)
+	}
+	res.Frequencies = refined
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ldprecover/internal/stats"
+)
+
+// This file implements the paper's analytical framework (§V-B, §V-E):
+// the asymptotic moments of the malicious, genuine and poisoned frequency
+// distributions (Lemmas 1–2, Theorem 1), the estimator's moments
+// (Theorems 2–3) and the Berry–Esseen approximation-error bounds
+// (Theorems 4–5). The experiment suite uses these to validate the
+// implementation against theory, and servers can use them to reason about
+// recovery error at a given population size.
+
+// Normal is a mean/variance pair describing an asymptotic distribution.
+type Normal struct {
+	Mu     float64
+	Sigma2 float64
+}
+
+// perSampleMoments returns the mean, variance and absolute third central
+// moment of the single-report estimate Φ_{ε,y}(v) = (1_{S}(v) - q)/(p-q)
+// when the report supports item v with probability theta.
+func perSampleMoments(theta float64, pr Params) (mu, sigma2, g float64) {
+	scale := 1 / (pr.P - pr.Q)
+	mu = (theta - pr.Q) * scale
+	sigma2 = theta * (1 - theta) * scale * scale
+	// E|B-θ|^3 for a Bernoulli(θ) is θ(1-θ)[(1-θ)²+θ²].
+	g = theta * (1 - theta) * ((1-theta)*(1-theta) + theta*theta) * math.Abs(scale*scale*scale)
+	return mu, sigma2, g
+}
+
+// MaliciousDistribution returns the asymptotic distribution of f̃_Y(v)
+// (Lemma 1) for an adaptive attacker whose crafted reports support item v
+// with probability pv, across m malicious users:
+//
+//	f̃_Y(v) → N(μ_y, σ_y²),  μ_y = E[Φ_{ε,y}(v)],  σ_y² = Var[Φ_{ε,y}(v)]/m
+func MaliciousDistribution(pv float64, pr Params, m int64) (Normal, error) {
+	if err := pr.Validate(); err != nil {
+		return Normal{}, err
+	}
+	if pv < 0 || pv > 1 || math.IsNaN(pv) {
+		return Normal{}, fmt.Errorf("core: invalid support probability %v", pv)
+	}
+	if m <= 0 {
+		return Normal{}, fmt.Errorf("core: invalid malicious count %d", m)
+	}
+	mu, sigma2, _ := perSampleMoments(pv, pr)
+	return Normal{Mu: mu, Sigma2: sigma2 / float64(m)}, nil
+}
+
+// GenuineDistribution returns the asymptotic distribution of f̃_X̃(v)
+// (Lemma 2) for an item with true frequency f among n genuine users:
+//
+//	μ_x = f,  σ_x² = q(1-q)/(n(p-q)²) + f(1-p-q)/(n(p-q))
+func GenuineDistribution(f float64, pr Params, n int64) (Normal, error) {
+	if err := pr.Validate(); err != nil {
+		return Normal{}, err
+	}
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return Normal{}, fmt.Errorf("core: invalid frequency %v", f)
+	}
+	if n <= 0 {
+		return Normal{}, fmt.Errorf("core: invalid genuine count %d", n)
+	}
+	nn := float64(n)
+	pq := pr.P - pr.Q
+	sigma2 := pr.Q*(1-pr.Q)/(nn*pq*pq) + f*(1-pr.P-pr.Q)/(nn*pq)
+	return Normal{Mu: f, Sigma2: sigma2}, nil
+}
+
+// PoisonedDistribution combines Lemmas 1 and 2 into Theorem 1: with
+// η = m/n,
+//
+//	μ_z = μ_x/(1+η) + η·μ_y/(1+η)
+//	σ_z² = σ_x²/(1+η)² + η²·σ_y²/(1+η)²
+func PoisonedDistribution(genuine, malicious Normal, eta float64) (Normal, error) {
+	if eta < 0 || math.IsNaN(eta) || math.IsInf(eta, 0) {
+		return Normal{}, fmt.Errorf("core: invalid eta %v", eta)
+	}
+	k := 1 + eta
+	return Normal{
+		Mu:     genuine.Mu/k + eta*malicious.Mu/k,
+		Sigma2: genuine.Sigma2/(k*k) + eta*eta*malicious.Sigma2/(k*k),
+	}, nil
+}
+
+// EstimatorVariance returns the approximate variance of the genuine
+// frequency estimator (Theorem 3), which equals σ_x² from Lemma 2: the
+// estimator is approximately unbiased (Theorem 2) with the genuine
+// aggregation's own variance.
+func EstimatorVariance(f float64, pr Params, n int64) (float64, error) {
+	dist, err := GenuineDistribution(f, pr, n)
+	if err != nil {
+		return 0, err
+	}
+	return dist.Sigma2, nil
+}
+
+// MaliciousApproxError returns Theorem 4's Berry–Esseen bound on the sup
+// distance between the true CDF of f̃_Y(v) and its normal approximation,
+// for crafted reports supporting v with probability pv across m users.
+func MaliciousApproxError(pv float64, pr Params, m int64) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	if pv <= 0 || pv >= 1 || math.IsNaN(pv) {
+		return 0, fmt.Errorf("core: support probability %v must be in (0,1) for a CLT bound", pv)
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("core: invalid malicious count %d", m)
+	}
+	_, sigma2, g := perSampleMoments(pv, pr)
+	return stats.BerryEsseen(g, math.Sqrt(sigma2), m), nil
+}
+
+// GenuineApproxError returns Theorem 5's Berry–Esseen bound for f̃_X̃(v):
+// a genuine report supports item v with probability θ = f·p + (1-f)·q.
+func GenuineApproxError(f float64, pr Params, n int64) (float64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	if f < 0 || f > 1 || math.IsNaN(f) {
+		return 0, fmt.Errorf("core: invalid frequency %v", f)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("core: invalid genuine count %d", n)
+	}
+	theta := f*pr.P + (1-f)*pr.Q
+	if theta <= 0 || theta >= 1 {
+		return 0, fmt.Errorf("core: degenerate support probability %v", theta)
+	}
+	_, sigma2, g := perSampleMoments(theta, pr)
+	return stats.BerryEsseen(g, math.Sqrt(sigma2), n), nil
+}

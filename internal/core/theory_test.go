@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/rng"
+	"ldprecover/internal/stats"
+)
+
+func TestGenuineDistributionFormula(t *testing.T) {
+	pr := grrParams(102, 0.5)
+	const n = int64(389894)
+	f := 0.1
+	dist, err := GenuineDistribution(f, pr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Mu != f {
+		t.Fatalf("mu %v want %v", dist.Mu, f)
+	}
+	pq := pr.P - pr.Q
+	want := pr.Q*(1-pr.Q)/(float64(n)*pq*pq) + f*(1-pr.P-pr.Q)/(float64(n)*pq)
+	if math.Abs(dist.Sigma2-want) > 1e-15 {
+		t.Fatalf("sigma2 %v want %v", dist.Sigma2, want)
+	}
+}
+
+func TestGenuineDistributionValidation(t *testing.T) {
+	pr := grrParams(10, 0.5)
+	if _, err := GenuineDistribution(-0.1, pr, 100); err == nil {
+		t.Fatal("negative f accepted")
+	}
+	if _, err := GenuineDistribution(0.5, pr, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := GenuineDistribution(0.5, Params{}, 100); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestMaliciousDistributionFormula(t *testing.T) {
+	pr := oueParams(50, 0.5)
+	const m = int64(2000)
+	pv := 0.3
+	dist, err := MaliciousDistribution(pv, pr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 1 / (pr.P - pr.Q)
+	if math.Abs(dist.Mu-(pv-pr.Q)*scale) > 1e-12 {
+		t.Fatalf("mu %v", dist.Mu)
+	}
+	wantVar := pv * (1 - pv) * scale * scale / float64(m)
+	if math.Abs(dist.Sigma2-wantVar) > 1e-12 {
+		t.Fatalf("sigma2 %v want %v", dist.Sigma2, wantVar)
+	}
+	if _, err := MaliciousDistribution(1.5, pr, m); err == nil {
+		t.Fatal("pv > 1 accepted")
+	}
+	if _, err := MaliciousDistribution(0.5, pr, 0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+func TestPoisonedDistributionTheorem1(t *testing.T) {
+	gen := Normal{Mu: 0.1, Sigma2: 4e-6}
+	mal := Normal{Mu: 2.0, Sigma2: 1e-4}
+	eta := 0.25
+	dist, err := PoisonedDistribution(gen, mal, eta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 1.25
+	if math.Abs(dist.Mu-(0.1/k+0.25*2.0/k)) > 1e-12 {
+		t.Fatalf("mu %v", dist.Mu)
+	}
+	if math.Abs(dist.Sigma2-(4e-6/(k*k)+0.0625*1e-4/(k*k))) > 1e-15 {
+		t.Fatalf("sigma2 %v", dist.Sigma2)
+	}
+	if _, err := PoisonedDistribution(gen, mal, -1); err == nil {
+		t.Fatal("negative eta accepted")
+	}
+}
+
+// TestLemma2EmpiricalVariance simulates genuine aggregation and checks the
+// estimator's empirical variance against Lemma 2 / Theorem 3.
+func TestLemma2EmpiricalVariance(t *testing.T) {
+	pr := grrParams(10, 0.8)
+	const n = int64(5000)
+	f := 0.2
+	dist, err := GenuineDistribution(f, pr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(55)
+	const trials = 3000
+	est := make([]float64, trials)
+	for i := range est {
+		// Simulate C(v) = Binomial(n_v, p) + Binomial(n - n_v, q) and
+		// unbias — the per-item marginal of any pure protocol.
+		nv := int64(f * float64(n))
+		c := r.Binomial(nv, pr.P) + r.Binomial(n-nv, pr.Q)
+		est[i] = (float64(c) - float64(n)*pr.Q) / (float64(n) * (pr.P - pr.Q))
+	}
+	gotVar := stats.SampleVariance(est)
+	if gotVar < dist.Sigma2*0.85 || gotVar > dist.Sigma2*1.15 {
+		t.Fatalf("empirical variance %v want %v", gotVar, dist.Sigma2)
+	}
+	gotMu := stats.Mean(est)
+	if math.Abs(gotMu-f) > 4*math.Sqrt(dist.Sigma2/trials) {
+		t.Fatalf("empirical mean %v want %v", gotMu, f)
+	}
+}
+
+// TestTheorem2EstimatorUnbiased verifies E[f̃_X] = f_X through the full
+// estimator: simulate poisoned mixtures and recover with the true
+// malicious frequencies.
+func TestTheorem2EstimatorUnbiased(t *testing.T) {
+	pr := oueParams(6, 0.8)
+	const n, m = int64(4000), int64(800)
+	eta := float64(m) / float64(n)
+	f := 0.3  // genuine frequency of the item under test
+	pv := 0.9 // malicious support probability for that item
+	r := rng.New(66)
+	const trials = 3000
+	est := make([]float64, trials)
+	for i := range est {
+		nv := int64(f * float64(n))
+		cGen := r.Binomial(nv, pr.P) + r.Binomial(n-nv, pr.Q)
+		cMal := r.Binomial(m, pv)
+		total := n + m
+		fz := (float64(cGen+cMal) - float64(total)*pr.Q) / (float64(total) * (pr.P - pr.Q))
+		fy := (float64(cMal) - float64(m)*pr.Q) / (float64(m) * (pr.P - pr.Q))
+		est[i] = (1+eta)*fz - eta*fy
+	}
+	mu := stats.Mean(est)
+	genDist, _ := GenuineDistribution(f, pr, n)
+	se := math.Sqrt(genDist.Sigma2 / trials)
+	if math.Abs(mu-f) > 6*se {
+		t.Fatalf("estimator mean %v want %v (se %v)", mu, f, se)
+	}
+	// Theorem 3: variance ~ sigma_x^2. The estimator also subtracts the
+	// (independent, re-measured) malicious estimate, so allow slack above.
+	v := stats.SampleVariance(est)
+	if v < genDist.Sigma2*0.8 {
+		t.Fatalf("estimator variance %v below sigma_x^2 %v", v, genDist.Sigma2)
+	}
+}
+
+func TestEstimatorVarianceMatchesLemma2(t *testing.T) {
+	pr := grrParams(20, 0.5)
+	v1, err := EstimatorVariance(0.25, pr, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, _ := GenuineDistribution(0.25, pr, 10000)
+	if v1 != dist.Sigma2 {
+		t.Fatalf("EstimatorVariance %v != Lemma2 %v", v1, dist.Sigma2)
+	}
+}
+
+func TestBerryEsseenBoundsShrink(t *testing.T) {
+	pr := grrParams(102, 0.5)
+	b1, err := MaliciousApproxError(0.1, pr, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := MaliciousApproxError(0.1, pr, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(b1 > b2) || b2 <= 0 {
+		t.Fatalf("malicious bound not shrinking: %v -> %v", b1, b2)
+	}
+	if math.Abs(b1/b2-10) > 1e-9 {
+		t.Fatalf("bound not O(1/sqrt(m)): ratio %v", b1/b2)
+	}
+
+	g1, err := GenuineApproxError(0.1, pr, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GenuineApproxError(0.1, pr, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(g1 > g2) || g2 <= 0 {
+		t.Fatalf("genuine bound not shrinking: %v -> %v", g1, g2)
+	}
+}
+
+func TestBerryEsseenValidation(t *testing.T) {
+	pr := grrParams(10, 0.5)
+	if _, err := MaliciousApproxError(0, pr, 100); err == nil {
+		t.Fatal("pv=0 accepted")
+	}
+	if _, err := MaliciousApproxError(0.5, pr, 0); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := GenuineApproxError(2, pr, 100); err == nil {
+		t.Fatal("f=2 accepted")
+	}
+	if _, err := GenuineApproxError(0.5, pr, -1); err == nil {
+		t.Fatal("n<0 accepted")
+	}
+}
+
+// TestBerryEsseenEmpirical: the actual sup-CDF distance between the
+// empirical distribution of f̃_Y(v) and its normal approximation must lie
+// below Theorem 4's bound.
+func TestBerryEsseenEmpirical(t *testing.T) {
+	pr := grrParams(10, 0.5)
+	const m = int64(500)
+	pv := 0.3
+	bound, err := MaliciousApproxError(pv, pr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := MaliciousDistribution(pv, pr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(77)
+	const trials = 4000
+	sample := make([]float64, trials)
+	for i := range sample {
+		c := r.Binomial(m, pv)
+		sample[i] = (float64(c) - float64(m)*pr.Q) / (float64(m) * (pr.P - pr.Q))
+	}
+	sigma := math.Sqrt(dist.Sigma2)
+	d, err := stats.KSStatistic(sample, func(x float64) float64 {
+		return stats.NormalCDF(x, dist.Mu, sigma)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The KS distance includes sampling error ~1/sqrt(trials); add it.
+	slack := 2 / math.Sqrt(float64(trials))
+	if d > bound+slack {
+		t.Fatalf("empirical CDF distance %v exceeds Berry–Esseen bound %v", d, bound)
+	}
+}

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds, _ := New("orig", []int64{10, 0, 5, 7})
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("back", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Domain() != ds.Domain() || back.N() != ds.N() {
+		t.Fatalf("round trip changed shape: %d/%d", back.Domain(), back.N())
+	}
+	for v := range ds.Counts {
+		if back.Counts[v] != ds.Counts[v] {
+			t.Fatalf("count[%d] = %d want %d", v, back.Counts[v], ds.Counts[v])
+		}
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	in := "0,5\n1,10\n2,1\n"
+	ds, err := ReadCSV("x", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 16 {
+		t.Fatalf("n = %d", ds.N())
+	}
+}
+
+func TestReadCSVOutOfOrder(t *testing.T) {
+	in := "2,1\n0,5\n1,10\n"
+	ds, err := ReadCSV("x", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Counts[0] != 5 || ds.Counts[1] != 10 || ds.Counts[2] != 1 {
+		t.Fatalf("counts %v", ds.Counts)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"header only", "item,count\n"},
+		{"duplicate", "0,1\n0,2\n"},
+		{"gap", "0,1\n5,2\n"},
+		{"bad count", "0,xyz\n"},
+		{"negative count", "0,-3\n1,5\n"},
+		{"wrong fields", "0,1,2\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV("x", strings.NewReader(c.in)); err == nil {
+			t.Fatalf("%s: accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestSaveLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ds.csv")
+	ds, _ := Zipf("z", 20, 5000, 1.0)
+	if err := ds.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != ds.N() || back.Domain() != ds.Domain() {
+		t.Fatal("file round trip changed dataset")
+	}
+}
+
+func TestLoadCSVMissing(t *testing.T) {
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add("item,count\n0,5\n1,10\n")
+	f.Add("0,5\n1,10\n2,1\n")
+	f.Add("")
+	f.Add("0,-1\n")
+	f.Add("x,y\nz,w\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		ds, err := ReadCSV("fuzz", strings.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics and invalid datasets are not
+		}
+		if ds.Domain() == 0 || ds.N() <= 0 {
+			t.Fatalf("accepted invalid dataset: d=%d n=%d", ds.Domain(), ds.N())
+		}
+		for v, c := range ds.Counts {
+			if c < 0 {
+				t.Fatalf("accepted negative count at %d", v)
+			}
+		}
+	})
+}

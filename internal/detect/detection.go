@@ -1,0 +1,110 @@
+// Package detect implements the countermeasures the paper compares
+// against and integrates with: the Detection baseline (§VI-A.5), the
+// k-means subset defense with its LDPRecover-KM integration (§VII-B), and
+// the outlier-based target identification that motivates LDPRecover*'s
+// partial-knowledge mode (§V-D).
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"ldprecover/internal/core"
+	"ldprecover/internal/ldp"
+)
+
+// Rule selects how Detection decides a report is malicious.
+type Rule int
+
+const (
+	// AnyTarget removes a report that supports at least one target item —
+	// the paper's comparator ("Detection identifies users as malicious if
+	// their reported data matches the target items"), whose failure mode
+	// is removing genuine users holding target items (§VI-C).
+	AnyTarget Rule = iota
+	// AllTargets removes a report only when it supports every target item
+	// — the stricter rule from Cao et al.'s countermeasure discussion,
+	// provided for the detection-rule ablation bench.
+	AllTargets
+)
+
+// String returns the rule name.
+func (r Rule) String() string {
+	switch r {
+	case AnyTarget:
+		return "any-target"
+	case AllTargets:
+		return "all-targets"
+	default:
+		return fmt.Sprintf("rule(%d)", int(r))
+	}
+}
+
+// DetectionResult reports what the Detection baseline kept and estimated.
+type DetectionResult struct {
+	// Frequencies is the survivors' frequency estimate projected onto the
+	// probability simplex (the same public-knowledge post-processing every
+	// method gets, so comparisons are like-for-like).
+	Frequencies []float64
+	// RawFrequencies is the survivors' unprojected unbiased estimate.
+	RawFrequencies []float64
+	// Removed and Kept count the filtered and surviving reports.
+	Removed, Kept int
+}
+
+// Detection is the baseline countermeasure: drop every report matching
+// the target items under the given rule, then aggregate the survivors.
+func Detection(reports []ldp.Report, targets []int, pr ldp.Params, rule Rule) (*DetectionResult, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("detect: Detection requires a non-empty target set")
+	}
+	for _, t := range targets {
+		if t < 0 || t >= pr.Domain {
+			return nil, fmt.Errorf("detect: target %d outside domain [0,%d)", t, pr.Domain)
+		}
+	}
+	if len(reports) == 0 {
+		return nil, errors.New("detect: no reports")
+	}
+
+	survivors := make([]ldp.Report, 0, len(reports))
+	for i, rep := range reports {
+		if rep == nil {
+			return nil, fmt.Errorf("detect: nil report at index %d", i)
+		}
+		matched := 0
+		for _, t := range targets {
+			if rep.Supports(t) {
+				matched++
+				if rule == AnyTarget {
+					break
+				}
+			}
+		}
+		remove := (rule == AnyTarget && matched > 0) ||
+			(rule == AllTargets && matched == len(targets))
+		if !remove {
+			survivors = append(survivors, rep)
+		}
+	}
+	if len(survivors) == 0 {
+		return nil, errors.New("detect: detection removed every report")
+	}
+	raw, err := ldp.EstimateFrequencies(survivors, pr)
+	if err != nil {
+		return nil, err
+	}
+	projected, err := core.RefineKKT(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &DetectionResult{
+		Frequencies:    projected,
+		RawFrequencies: raw,
+		Removed:        len(reports) - len(survivors),
+		Kept:           len(survivors),
+	}, nil
+}

@@ -1,0 +1,176 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/attack"
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+	"ldprecover/internal/stats"
+)
+
+func TestRuleString(t *testing.T) {
+	if AnyTarget.String() != "any-target" || AllTargets.String() != "all-targets" {
+		t.Fatal("rule names wrong")
+	}
+	if Rule(9).String() == "" {
+		t.Fatal("unknown rule empty")
+	}
+}
+
+func TestDetectionValidation(t *testing.T) {
+	grr, _ := ldp.NewGRR(10, 0.5)
+	pr := grr.Params()
+	reports := []ldp.Report{ldp.GRRReport(1)}
+	if _, err := Detection(reports, nil, pr, AnyTarget); err == nil {
+		t.Fatal("empty targets accepted")
+	}
+	if _, err := Detection(reports, []int{11}, pr, AnyTarget); err == nil {
+		t.Fatal("out-of-domain target accepted")
+	}
+	if _, err := Detection(nil, []int{1}, pr, AnyTarget); err == nil {
+		t.Fatal("no reports accepted")
+	}
+	if _, err := Detection([]ldp.Report{nil}, []int{1}, pr, AnyTarget); err == nil {
+		t.Fatal("nil report accepted")
+	}
+	// All reports are targets -> everything removed -> error.
+	if _, err := Detection([]ldp.Report{ldp.GRRReport(1)}, []int{1}, pr, AnyTarget); err == nil {
+		t.Fatal("total removal accepted")
+	}
+}
+
+func TestDetectionRemovesTargetsGRR(t *testing.T) {
+	grr, _ := ldp.NewGRR(10, 0.5)
+	pr := grr.Params()
+	reports := []ldp.Report{
+		ldp.GRRReport(0), ldp.GRRReport(1), ldp.GRRReport(2),
+		ldp.GRRReport(2), ldp.GRRReport(3), ldp.GRRReport(4),
+	}
+	res, err := Detection(reports, []int{2}, pr, AnyTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 2 || res.Kept != 4 {
+		t.Fatalf("removed %d kept %d", res.Removed, res.Kept)
+	}
+	onSimplexT(t, res.Frequencies)
+}
+
+func TestDetectionAllTargetsRuleKeepsPartialMatches(t *testing.T) {
+	oue, _ := ldp.NewOUE(10, 0.5)
+	pr := oue.Params()
+	// Report supporting only target 1 of {1, 2}: kept under AllTargets,
+	// removed under AnyTarget.
+	partial := ldp.NewBitset(10)
+	partial.Set(1)
+	full := ldp.NewBitset(10)
+	full.Set(1)
+	full.Set(2)
+	clean := ldp.NewBitset(10)
+	clean.Set(5)
+	reports := []ldp.Report{
+		ldp.OUEReport{Bits: partial},
+		ldp.OUEReport{Bits: full},
+		ldp.OUEReport{Bits: clean},
+	}
+	resAll, err := Detection(reports, []int{1, 2}, pr, AllTargets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAll.Removed != 1 || resAll.Kept != 2 {
+		t.Fatalf("AllTargets removed %d kept %d", resAll.Removed, resAll.Kept)
+	}
+	resAny, err := Detection(reports, []int{1, 2}, pr, AnyTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAny.Removed != 2 || resAny.Kept != 1 {
+		t.Fatalf("AnyTarget removed %d kept %d", resAny.Removed, resAny.Kept)
+	}
+}
+
+// TestDetectionCatchesMGAOnOUE: under the strict rule, detection removes
+// exactly the malicious reports with high probability (Cao et al.'s
+// observation), because honest reports rarely set all target bits.
+func TestDetectionCatchesMGAOnOUE(t *testing.T) {
+	const d, eps = 40, 0.5
+	const n, m = int64(3000), int64(300)
+	oue, _ := ldp.NewOUE(d, eps)
+	r := rng.New(9)
+	targets := []int{1, 5, 9, 13, 17, 21, 25, 29, 33, 37}
+	mga, err := attack.NewMGA(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueCounts := make([]int64, d)
+	for v := range trueCounts {
+		trueCounts[v] = n / int64(d)
+	}
+	genuine, err := ldp.PerturbAll(oue, r, trueCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	malicious, err := mga.CraftReports(r, oue, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]ldp.Report{}, genuine...), malicious...)
+	res, err := Detection(all, targets, oue.Params(), AllTargets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All m malicious removed; false positives ~ n*q^9*p ~ 0.
+	if res.Removed < int(m) || res.Removed > int(m)+10 {
+		t.Fatalf("removed %d want ~%d", res.Removed, m)
+	}
+}
+
+// TestDetectionAnyRuleOverRemoves: the paper's comparator removes genuine
+// users holding target items, its documented failure mode.
+func TestDetectionAnyRuleOverRemoves(t *testing.T) {
+	const d, eps = 20, 0.5
+	const n = int64(5000)
+	grr, _ := ldp.NewGRR(d, eps)
+	r := rng.New(10)
+	trueCounts := make([]int64, d)
+	for v := range trueCounts {
+		trueCounts[v] = n / int64(d)
+	}
+	genuine, err := ldp.PerturbAll(grr, r, trueCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []int{0, 1, 2}
+	res, err := Detection(genuine, targets, grr.Params(), AnyTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Honest reports land on a target with probability ~3/d-ish; with no
+	// attack at all a sizeable share of genuine users is still removed.
+	if res.Removed == 0 {
+		t.Fatal("any-target rule removed nobody on genuine data")
+	}
+	// Estimated target frequencies collapse to zero after projection.
+	for _, tt := range targets {
+		if res.Frequencies[tt] > 1e-9 {
+			t.Fatalf("target %d frequency %v after removal", tt, res.Frequencies[tt])
+		}
+	}
+}
+
+func onSimplexT(t *testing.T, fs []float64) {
+	t.Helper()
+	var sum float64
+	for v, f := range fs {
+		if f < -1e-9 {
+			t.Fatalf("negative frequency %v at %d", f, v)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("frequencies sum to %v", sum)
+	}
+	_ = stats.Sum(fs)
+}

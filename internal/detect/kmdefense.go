@@ -1,0 +1,171 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"ldprecover/internal/core"
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+// KMeansDefense is the k-means-based defense of §VII-B (after Li et al.
+// and Du et al.): sample several subsets of the reports, estimate a
+// frequency vector per subset, cluster the vectors into two groups, and
+// trust the larger cluster as genuine. The smaller cluster's mean
+// frequency vector doubles as a malicious-statistics estimate, which
+// LDPRecover-KM feeds into the recovery pipeline.
+type KMeansDefense struct {
+	// Subsets is the number s of sampled subsets (default 10).
+	Subsets int
+	// SampleRate is the per-report inclusion probability ξ in (0,1].
+	SampleRate float64
+	// MaxIters bounds the Lloyd iterations (default 20).
+	MaxIters int
+	// Restarts is the number of k-means++ restarts (default 4).
+	Restarts int
+}
+
+// KMResult carries the defense's outputs.
+type KMResult struct {
+	// Genuine is the majority cluster's mean frequency estimate projected
+	// onto the simplex.
+	Genuine []float64
+	// RawGenuine is the unprojected majority-cluster mean.
+	RawGenuine []float64
+	// Malicious is the minority cluster's mean frequency estimate — the
+	// learnt malicious statistics for LDPRecover-KM.
+	Malicious []float64
+	// GenuineSubsets and MaliciousSubsets count cluster memberships.
+	GenuineSubsets, MaliciousSubsets int
+}
+
+func (kd *KMeansDefense) validate() error {
+	if kd.Subsets < 2 {
+		return fmt.Errorf("detect: k-means defense needs >= 2 subsets, got %d", kd.Subsets)
+	}
+	if !(kd.SampleRate > 0) || kd.SampleRate > 1 {
+		return fmt.Errorf("detect: sample rate %v outside (0,1]", kd.SampleRate)
+	}
+	return nil
+}
+
+// NewKMeansDefense returns a defense with the paper-style defaults.
+func NewKMeansDefense(sampleRate float64) (*KMeansDefense, error) {
+	kd := &KMeansDefense{Subsets: 10, SampleRate: sampleRate, MaxIters: 20, Restarts: 4}
+	if err := kd.validate(); err != nil {
+		return nil, err
+	}
+	return kd, nil
+}
+
+// Run executes the defense on report-level data.
+func (kd *KMeansDefense) Run(r *rng.Rand, reports []ldp.Report, pr ldp.Params) (*KMResult, error) {
+	if err := kd.validate(); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, errors.New("detect: nil random generator")
+	}
+	if len(reports) == 0 {
+		return nil, errors.New("detect: no reports")
+	}
+	vectors := make([][]float64, 0, kd.Subsets)
+	for s := 0; s < kd.Subsets; s++ {
+		var sub []ldp.Report
+		for _, rep := range reports {
+			if r.Bernoulli(kd.SampleRate) {
+				sub = append(sub, rep)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		fs, err := ldp.EstimateFrequencies(sub, pr)
+		if err != nil {
+			return nil, err
+		}
+		vectors = append(vectors, fs)
+	}
+	return kd.finish(r, vectors)
+}
+
+// RunCounts executes the defense on aggregated support counts (the fast
+// simulation path): a subset's support count for item v is marginally
+// Binomial(C(v), ξ) under per-report Bernoulli(ξ) inclusion, and the
+// subset size is Binomial(total, ξ).
+func (kd *KMeansDefense) RunCounts(r *rng.Rand, counts []int64, total int64, pr ldp.Params) (*KMResult, error) {
+	if err := kd.validate(); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, errors.New("detect: nil random generator")
+	}
+	if len(counts) != pr.Domain {
+		return nil, fmt.Errorf("detect: counts length %d, domain %d", len(counts), pr.Domain)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("detect: non-positive total %d", total)
+	}
+	vectors := make([][]float64, 0, kd.Subsets)
+	for s := 0; s < kd.Subsets; s++ {
+		size := r.Binomial(total, kd.SampleRate)
+		if size == 0 {
+			continue
+		}
+		sub := make([]int64, len(counts))
+		for v, c := range counts {
+			sub[v] = r.Binomial(c, kd.SampleRate)
+		}
+		fs, err := ldp.Unbias(sub, size, pr)
+		if err != nil {
+			return nil, err
+		}
+		vectors = append(vectors, fs)
+	}
+	return kd.finish(r, vectors)
+}
+
+// finish clusters subset vectors and assembles the result.
+func (kd *KMeansDefense) finish(r *rng.Rand, vectors [][]float64) (*KMResult, error) {
+	if len(vectors) < 2 {
+		return nil, errors.New("detect: too few non-empty subsets to cluster")
+	}
+	assign, cents, err := KMeans2(r, vectors, kd.MaxIters, kd.Restarts)
+	if err != nil {
+		return nil, err
+	}
+	sizes := [2]int{}
+	for _, a := range assign {
+		sizes[a]++
+	}
+	genuine, malicious := 0, 1
+	if sizes[1] > sizes[0] {
+		genuine, malicious = 1, 0
+	}
+	projected, err := core.RefineKKT(cents[genuine])
+	if err != nil {
+		return nil, err
+	}
+	return &KMResult{
+		Genuine:          projected,
+		RawGenuine:       cents[genuine],
+		Malicious:        cents[malicious],
+		GenuineSubsets:   sizes[genuine],
+		MaliciousSubsets: sizes[malicious],
+	}, nil
+}
+
+// RecoverKM is the LDPRecover-KM integration (§VII-B): recovery driven by
+// the malicious statistics learnt from the minority cluster rather than
+// by Eq. 21 (which is unavailable under input poisoning, where malicious
+// data pass through honest perturbation).
+func RecoverKM(poisoned []float64, km *KMResult, pr core.Params, eta float64) (*core.Result, error) {
+	if km == nil {
+		return nil, errors.New("detect: nil k-means result")
+	}
+	return core.Recover(poisoned, pr, core.Options{
+		Eta:               eta,
+		MaliciousOverride: km.Malicious,
+	})
+}

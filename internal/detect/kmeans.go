@@ -1,0 +1,132 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ldprecover/internal/rng"
+)
+
+// KMeans2 clusters vectors into two clusters with Lloyd's algorithm and
+// k-means++ initialization, restarted several times and keeping the
+// lowest-inertia solution. It returns the assignment (0 or 1 per vector)
+// and the two centroids. Designed for the defense's small inputs (tens of
+// subset frequency vectors), not for large-scale clustering.
+func KMeans2(r *rng.Rand, vectors [][]float64, maxIters, restarts int) (assign []int, centroids [][]float64, err error) {
+	if r == nil {
+		return nil, nil, errors.New("detect: nil random generator")
+	}
+	n := len(vectors)
+	if n < 2 {
+		return nil, nil, fmt.Errorf("detect: k-means needs >= 2 vectors, got %d", n)
+	}
+	dim := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dim {
+			return nil, nil, fmt.Errorf("detect: vector %d has length %d, want %d", i, len(v), dim)
+		}
+	}
+	if maxIters < 1 {
+		maxIters = 20
+	}
+	if restarts < 1 {
+		restarts = 4
+	}
+
+	bestInertia := math.Inf(1)
+	var bestAssign []int
+	var bestCents [][]float64
+	for rs := 0; rs < restarts; rs++ {
+		cents := kppInit(r, vectors)
+		a := make([]int, n)
+		for iter := 0; iter < maxIters; iter++ {
+			changed := false
+			for i, v := range vectors {
+				c := 0
+				if sqDist(v, cents[1]) < sqDist(v, cents[0]) {
+					c = 1
+				}
+				if a[i] != c {
+					a[i] = c
+					changed = true
+				}
+			}
+			recomputeCentroids(vectors, a, cents)
+			if !changed {
+				break
+			}
+		}
+		inertia := 0.0
+		for i, v := range vectors {
+			inertia += sqDist(v, cents[a[i]])
+		}
+		if inertia < bestInertia {
+			bestInertia = inertia
+			bestAssign = append([]int(nil), a...)
+			bestCents = [][]float64{
+				append([]float64(nil), cents[0]...),
+				append([]float64(nil), cents[1]...),
+			}
+		}
+	}
+	return bestAssign, bestCents, nil
+}
+
+// kppInit picks two initial centroids with k-means++ seeding.
+func kppInit(r *rng.Rand, vectors [][]float64) [][]float64 {
+	n := len(vectors)
+	first := vectors[r.Intn(n)]
+	weights := make([]float64, n)
+	var total float64
+	for i, v := range vectors {
+		weights[i] = sqDist(v, first)
+		total += weights[i]
+	}
+	second := vectors[(r.Intn(n)+1)%n] // fallback: any other vector
+	if total > 0 {
+		u := r.Float64() * total
+		acc := 0.0
+		for i, w := range weights {
+			acc += w
+			if u <= acc {
+				second = vectors[i]
+				break
+			}
+		}
+	}
+	return [][]float64{
+		append([]float64(nil), first...),
+		append([]float64(nil), second...),
+	}
+}
+
+func recomputeCentroids(vectors [][]float64, assign []int, cents [][]float64) {
+	dim := len(cents[0])
+	counts := [2]int{}
+	sums := [2][]float64{make([]float64, dim), make([]float64, dim)}
+	for i, v := range vectors {
+		c := assign[i]
+		counts[c]++
+		for j, x := range v {
+			sums[c][j] += x
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if counts[c] == 0 {
+			continue // keep the previous centroid for an empty cluster
+		}
+		for j := range cents[c] {
+			cents[c][j] = sums[c][j] / float64(counts[c])
+		}
+	}
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/attack"
+	"ldprecover/internal/core"
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+func TestKMeans2Validation(t *testing.T) {
+	r := rng.New(1)
+	if _, _, err := KMeans2(nil, [][]float64{{1}, {2}}, 10, 2); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, _, err := KMeans2(r, [][]float64{{1}}, 10, 2); err == nil {
+		t.Fatal("single vector accepted")
+	}
+	if _, _, err := KMeans2(r, [][]float64{{1, 2}, {1}}, 10, 2); err == nil {
+		t.Fatal("ragged vectors accepted")
+	}
+}
+
+func TestKMeans2SeparatesClearClusters(t *testing.T) {
+	r := rng.New(2)
+	var vectors [][]float64
+	// Cluster A near (0,0), cluster B near (10,10).
+	for i := 0; i < 8; i++ {
+		vectors = append(vectors, []float64{r.Float64() * 0.1, r.Float64() * 0.1})
+	}
+	for i := 0; i < 4; i++ {
+		vectors = append(vectors, []float64{10 + r.Float64()*0.1, 10 + r.Float64()*0.1})
+	}
+	assign, cents, err := KMeans2(r, vectors, 50, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of A together, all of B together.
+	for i := 1; i < 8; i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("cluster A split: %v", assign)
+		}
+	}
+	for i := 9; i < 12; i++ {
+		if assign[i] != assign[8] {
+			t.Fatalf("cluster B split: %v", assign)
+		}
+	}
+	if assign[0] == assign[8] {
+		t.Fatal("clusters merged")
+	}
+	// Centroids near the true means.
+	a, b := cents[assign[0]], cents[assign[8]]
+	if math.Abs(a[0]) > 0.2 || math.Abs(b[0]-10) > 0.2 {
+		t.Fatalf("centroids off: %v %v", a, b)
+	}
+}
+
+func TestKMeans2IdenticalVectors(t *testing.T) {
+	r := rng.New(3)
+	vectors := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	assign, _, err := KMeans2(r, vectors, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 3 {
+		t.Fatalf("assign %v", assign)
+	}
+}
+
+func TestNewKMeansDefenseValidation(t *testing.T) {
+	if _, err := NewKMeansDefense(0); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+	if _, err := NewKMeansDefense(1.2); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	kd := &KMeansDefense{Subsets: 1, SampleRate: 0.5}
+	if err := kd.validate(); err == nil {
+		t.Fatal("1 subset accepted")
+	}
+}
+
+func TestKMeansDefenseRunCounts(t *testing.T) {
+	const d, eps = 20, 0.5
+	const n = int64(50000)
+	grr, _ := ldp.NewGRR(d, eps)
+	r := rng.New(4)
+	trueCounts := make([]int64, d)
+	for v := range trueCounts {
+		trueCounts[v] = n / int64(d)
+	}
+	counts, err := grr.SimulateGenuineCounts(r, trueCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kd, _ := NewKMeansDefense(0.5)
+	res, err := kd.RunCounts(r, counts, n, grr.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	onSimplexT(t, res.Genuine)
+	if res.GenuineSubsets+res.MaliciousSubsets != kd.Subsets {
+		t.Fatalf("cluster sizes %d + %d != %d",
+			res.GenuineSubsets, res.MaliciousSubsets, kd.Subsets)
+	}
+	if res.GenuineSubsets < res.MaliciousSubsets {
+		t.Fatal("genuine cluster is not the majority")
+	}
+	// On clean data the genuine estimate must track the uniform truth on
+	// average (individual items carry GRR noise amplified by subsetting).
+	var mse float64
+	for v := 0; v < d; v++ {
+		dv := res.Genuine[v] - 1.0/float64(d)
+		mse += dv * dv
+	}
+	mse /= float64(d)
+	if mse > 3e-3 {
+		t.Fatalf("genuine estimate MSE %v too large on clean data", mse)
+	}
+}
+
+func TestKMeansDefenseRunCountsValidation(t *testing.T) {
+	grr, _ := ldp.NewGRR(5, 0.5)
+	kd, _ := NewKMeansDefense(0.5)
+	r := rng.New(1)
+	if _, err := kd.RunCounts(nil, make([]int64, 5), 10, grr.Params()); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := kd.RunCounts(r, make([]int64, 3), 10, grr.Params()); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := kd.RunCounts(r, make([]int64, 5), 0, grr.Params()); err == nil {
+		t.Fatal("zero total accepted")
+	}
+}
+
+func TestKMeansDefenseRunReportsEndToEnd(t *testing.T) {
+	const d, eps = 15, 0.8
+	const n, m = int64(4000), int64(200)
+	oue, _ := ldp.NewOUE(d, eps)
+	r := rng.New(5)
+	trueCounts := make([]int64, d)
+	for v := range trueCounts {
+		trueCounts[v] = n / int64(d)
+	}
+	ipa, err := attack.NewMGAIPA([]int{3}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genuine, err := ldp.PerturbAll(oue, r, trueCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	malicious, err := ipa.CraftReports(r, oue, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]ldp.Report{}, genuine...), malicious...)
+	kd, _ := NewKMeansDefense(0.5)
+	res, err := kd.Run(r, all, oue.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	onSimplexT(t, res.Genuine)
+
+	// LDPRecover-KM integration: must produce a simplex vector and not
+	// blow up the error versus the plain poisoned estimate.
+	poisoned, err := ldp.EstimateFrequencies(all, oue.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prCore := core.Params{P: oue.Params().P, Q: oue.Params().Q, Domain: d}
+	rec, err := RecoverKM(poisoned, res, prCore, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onSimplexT(t, rec.Frequencies)
+}
+
+func TestRecoverKMNil(t *testing.T) {
+	if _, err := RecoverKM([]float64{1}, nil, core.Params{P: 0.5, Q: 0.2, Domain: 1}, 0.1); err == nil {
+		t.Fatal("nil km result accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ldprecover/internal/stats"
+)
+
+// ZScoreOutliers identifies likely attack targets by statistical anomaly
+// against historical frequency series (§V-D's outlier-detection oracle):
+// for each item it computes the z-score of the current frequency against
+// the item's own history and returns up to k items whose score exceeds
+// minZ, ordered by decreasing score. The history is periods × items.
+func ZScoreOutliers(history [][]float64, current []float64, k int, minZ float64) ([]int, error) {
+	if len(history) < 2 {
+		return nil, errors.New("detect: need at least 2 history periods")
+	}
+	d := len(current)
+	if d == 0 {
+		return nil, errors.New("detect: empty current frequencies")
+	}
+	for t, fs := range history {
+		if len(fs) != d {
+			return nil, fmt.Errorf("detect: history period %d has %d items, want %d", t, len(fs), d)
+		}
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("detect: invalid outlier count %d", k)
+	}
+	if minZ < 0 || math.IsNaN(minZ) {
+		return nil, fmt.Errorf("detect: invalid z threshold %v", minZ)
+	}
+
+	type scored struct {
+		item int
+		z    float64
+	}
+	var out []scored
+	series := make([]float64, len(history))
+	for v := 0; v < d; v++ {
+		for t := range history {
+			series[t] = history[t][v]
+		}
+		mu := stats.Mean(series)
+		sd := math.Sqrt(stats.SampleVariance(series))
+		if sd == 0 {
+			// A perfectly flat history cannot absorb any deviation; any
+			// change is infinitely anomalous. Use a tiny floor instead to
+			// keep scores finite and comparable.
+			sd = 1e-12
+		}
+		z := (current[v] - mu) / sd
+		if z >= minZ {
+			out = append(out, scored{v, z})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].z != out[b].z {
+			return out[a].z > out[b].z
+		}
+		return out[a].item < out[b].item
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	items := make([]int, len(out))
+	for i, s := range out {
+		items[i] = s.item
+	}
+	return items, nil
+}
+
+// TopIncrease returns the k items with the largest frequency increase
+// from before to after — the paper's target-identification rule for the
+// adaptive attack ("items that exhibit the top-r/2 frequency increase
+// following the attack", §VI-A.4).
+func TopIncrease(before, after []float64, k int) ([]int, error) {
+	if len(before) != len(after) {
+		return nil, fmt.Errorf("detect: before length %d, after length %d", len(before), len(after))
+	}
+	if len(before) == 0 {
+		return nil, errors.New("detect: empty frequency vectors")
+	}
+	if k < 1 || k > len(before) {
+		return nil, fmt.Errorf("detect: invalid top count %d", k)
+	}
+	idx := make([]int, len(before))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		da := after[idx[a]] - before[idx[a]]
+		db := after[idx[b]] - before[idx[b]]
+		if da != db {
+			return da > db
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k], nil
+}

@@ -1,0 +1,126 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/dataset"
+	"ldprecover/internal/rng"
+)
+
+func TestZScoreOutliersFindsInjectedSpike(t *testing.T) {
+	ds, err := dataset.Zipf("z", 50, 100000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	history, err := dataset.GenerateHistory(ds, 10, 0.02, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := append([]float64(nil), ds.Frequencies()...)
+	// Inject a large spike on items 7 and 31.
+	current[7] += 0.15
+	current[31] += 0.10
+	found, err := ZScoreOutliers(history, current, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 2 {
+		t.Fatalf("found %v", found)
+	}
+	if found[0] != 7 && found[0] != 31 {
+		t.Fatalf("top outlier %d not a spiked item", found[0])
+	}
+	has := map[int]bool{found[0]: true, found[1]: true}
+	if !has[7] || !has[31] {
+		t.Fatalf("outliers %v want {7, 31}", found)
+	}
+}
+
+func TestZScoreOutliersNoFalsePositivesOnCleanData(t *testing.T) {
+	ds, _ := dataset.Zipf("z", 30, 50000, 1.0)
+	r := rng.New(8)
+	history, _ := dataset.GenerateHistory(ds, 10, 0.02, r)
+	// Current = one more clean period.
+	extra, _ := dataset.GenerateHistory(ds, 1, 0.02, r)
+	found, err := ZScoreOutliers(history, extra[0], 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) > 1 {
+		t.Fatalf("clean data flagged %v", found)
+	}
+}
+
+func TestZScoreOutliersValidation(t *testing.T) {
+	h := [][]float64{{0.5, 0.5}, {0.4, 0.6}}
+	if _, err := ZScoreOutliers(h[:1], []float64{0.5, 0.5}, 1, 2); err == nil {
+		t.Fatal("1 period accepted")
+	}
+	if _, err := ZScoreOutliers(h, []float64{0.5}, 1, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ZScoreOutliers(h, nil, 1, 2); err == nil {
+		t.Fatal("empty current accepted")
+	}
+	if _, err := ZScoreOutliers(h, []float64{0.5, 0.5}, 0, 2); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := ZScoreOutliers(h, []float64{0.5, 0.5}, 1, math.NaN()); err == nil {
+		t.Fatal("NaN threshold accepted")
+	}
+}
+
+func TestZScoreOutliersFlatHistory(t *testing.T) {
+	// Identical history periods: sd=0; the floor keeps scores finite and a
+	// genuinely changed item must still surface.
+	h := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}
+	found, err := ZScoreOutliers(h, []float64{0.8, 0.2}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[0] != 0 {
+		t.Fatalf("found %v want [0]", found)
+	}
+}
+
+func TestTopIncrease(t *testing.T) {
+	before := []float64{0.25, 0.25, 0.25, 0.25}
+	after := []float64{0.10, 0.40, 0.30, 0.20}
+	top, err := TopIncrease(before, after, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 1 || top[1] != 2 {
+		t.Fatalf("top %v want [1 2]", top)
+	}
+}
+
+func TestTopIncreaseTies(t *testing.T) {
+	before := []float64{0, 0, 0}
+	after := []float64{0.1, 0.1, 0.1}
+	top, err := TopIncrease(before, after, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ties break by item id.
+	if top[0] != 0 || top[1] != 1 {
+		t.Fatalf("top %v", top)
+	}
+}
+
+func TestTopIncreaseValidation(t *testing.T) {
+	if _, err := TopIncrease([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if _, err := TopIncrease(nil, nil, 1); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := TopIncrease([]float64{1, 2}, []float64{1, 2}, 3); err == nil {
+		t.Fatal("k > d accepted")
+	}
+	if _, err := TopIncrease([]float64{1, 2}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

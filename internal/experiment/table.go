@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a rendered experiment result: a title, a header row and data
+// rows. Cells are strings so generators control their own formatting.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a data row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table as aligned monospace text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	cols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, row := range t.Rows {
+		measure(row)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table as comma-separated values (quotes omitted; cells
+// never contain commas by construction).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// sci formats a value in the paper's scientific style (e.g. 5.89E-4).
+func sci(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2E", v)
+}
+
+// fixed formats a frequency-gain value.
+func fixed(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.3f", v)
+}

@@ -1,0 +1,236 @@
+package harmony
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("epsilon=0 accepted")
+	}
+	if _, err := New(math.NaN()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestDiscretizeUnbiased(t *testing.T) {
+	h, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for _, x := range []float64{-1, -0.5, 0, 0.3, 1} {
+		const trials = 60000
+		sum := 0.0
+		for i := 0; i < trials; i++ {
+			b, err := h.Discretize(r, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == Pos {
+				sum++
+			} else {
+				sum--
+			}
+		}
+		got := sum / trials
+		if math.Abs(got-x) > 0.02 {
+			t.Fatalf("discretized mean of %v is %v", x, got)
+		}
+	}
+}
+
+func TestDiscretizeValidation(t *testing.T) {
+	h, _ := New(1)
+	r := rng.New(1)
+	if _, err := h.Discretize(r, 1.5); err == nil {
+		t.Fatal("x > 1 accepted")
+	}
+	if _, err := h.Discretize(r, math.NaN()); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := h.Discretize(nil, 0); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+// TestMeanEstimationUnbiased runs the full Harmony pipeline and checks
+// the estimated mean converges to the population mean.
+func TestMeanEstimationUnbiased(t *testing.T) {
+	h, _ := New(0.8)
+	r := rng.New(2)
+	// Population with known mean 0.24.
+	values := make([]float64, 30000)
+	for i := range values {
+		values[i] = 0.24 + 0.5*(r.Float64()-0.5)
+		if values[i] > 1 {
+			values[i] = 1
+		}
+		if values[i] < -1 {
+			values[i] = -1
+		}
+	}
+	var trueMean float64
+	for _, x := range values {
+		trueMean += x
+	}
+	trueMean /= float64(len(values))
+
+	reports := make([]ldp.Report, len(values))
+	for i, x := range values {
+		rep, err := h.Perturb(r, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[i] = rep
+	}
+	freqs, err := ldp.EstimateFrequencies(reports, h.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := EstimateMean(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-trueMean) > 0.05 {
+		t.Fatalf("estimated mean %v want %v", mean, trueMean)
+	}
+}
+
+func TestSimulateCountsMatchesReports(t *testing.T) {
+	h, _ := New(0.8)
+	r := rng.New(3)
+	values := make([]float64, 5000)
+	for i := range values {
+		values[i] = 2*r.Float64() - 1
+	}
+	const trials = 60
+	var fastPos, exactPos float64
+	for trial := 0; trial < trials; trial++ {
+		counts, err := h.SimulateCounts(r, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if counts[Neg]+counts[Pos] != int64(len(values)) {
+			t.Fatal("counts do not sum to n")
+		}
+		fastPos += float64(counts[Pos])
+		var pos int64
+		for _, x := range values {
+			rep, err := h.Perturb(r, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Supports(Pos) {
+				pos++
+			}
+		}
+		exactPos += float64(pos)
+	}
+	fast := fastPos / trials
+	exact := exactPos / trials
+	if math.Abs(fast-exact) > 0.03*float64(len(values)) {
+		t.Fatalf("fast %v exact %v", fast, exact)
+	}
+}
+
+func TestSimulateCountsValidation(t *testing.T) {
+	h, _ := New(1)
+	r := rng.New(1)
+	if _, err := h.SimulateCounts(nil, []float64{0}); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := h.SimulateCounts(r, nil); err == nil {
+		t.Fatal("empty values accepted")
+	}
+	if _, err := h.SimulateCounts(r, []float64{2}); err == nil {
+		t.Fatal("out-of-range value accepted")
+	}
+}
+
+func TestEstimateMeanValidation(t *testing.T) {
+	if _, err := EstimateMean([]float64{1}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	m, err := EstimateMean([]float64{0.3, 0.7})
+	if err != nil || math.Abs(m-0.4) > 1e-12 {
+		t.Fatalf("mean %v (err %v)", m, err)
+	}
+}
+
+// TestRecoverMeanUnderAttack poisons Harmony with malicious users all
+// reporting the Pos category and verifies partial-knowledge recovery
+// pulls the mean back toward the truth. At d=2 the non-knowledge variant
+// is a documented no-op (both categories stay positive, so the uniform
+// deduction cancels in the projection), and Eq. 28's q·d allocation
+// overcorrects slightly — the test pins both behaviors.
+func TestRecoverMeanUnderAttack(t *testing.T) {
+	h, _ := New(0.5)
+	r := rng.New(4)
+	const n, m = int64(50000), int64(2500)
+	etaTrue := float64(m) / float64(n)
+	trueMean := -0.6
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = trueMean // point mass keeps the truth exact
+	}
+	genCounts, err := h.SimulateCounts(r, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacker: m crafted reports for the Pos category (inflates mean).
+	combined := []int64{genCounts[Neg], genCounts[Pos] + m}
+	poisoned, err := ldp.Unbias(combined, n+m, h.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attack must have moved the mean upward.
+	pm, err := EstimateMean(poisoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm <= trueMean+0.1 {
+		t.Fatalf("attack ineffective: poisoned mean %v", pm)
+	}
+
+	// Non-knowledge recovery cannot single out a category at d=2: the
+	// recovered mean stays close to the poisoned one.
+	res, err := RecoverMean(poisoned, 0.5, etaTrue, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mean-res.PoisonedMean) > 0.05 {
+		t.Fatalf("non-knowledge recovery moved the mean unexpectedly: %v vs %v",
+			res.Mean, res.PoisonedMean)
+	}
+
+	// Partial knowledge of the promoted category recovers most of the
+	// attack-induced shift.
+	resStar, err := RecoverMean(poisoned, 0.5, etaTrue, []int{Pos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPoisoned := math.Abs(pm - trueMean)
+	errStar := math.Abs(resStar.Mean - trueMean)
+	if errStar >= errPoisoned {
+		t.Fatalf("partial-knowledge recovery did not improve: poisoned err %v recovered err %v",
+			errPoisoned, errStar)
+	}
+	// Direction: the recovered mean moves back down toward the truth.
+	if resStar.Mean >= pm {
+		t.Fatalf("recovered mean %v did not move toward truth from %v", resStar.Mean, pm)
+	}
+}
+
+func TestRecoverMeanValidation(t *testing.T) {
+	if _, err := RecoverMean([]float64{0.5, 0.5}, 0, 0.1, nil); err == nil {
+		t.Fatal("epsilon=0 accepted")
+	}
+	if _, err := RecoverMean([]float64{0.5}, 0.5, 0.1, nil); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+}

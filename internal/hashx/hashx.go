@@ -1,0 +1,36 @@
+// Package hashx implements the seeded hash family used by the OLH
+// protocol.
+//
+// OLH (Wang et al., USENIX Security'17) requires a family H of hash
+// functions, indexed by a per-user seed, such that for each item v the hash
+// value H(v) is uniform over {0, ..., g-1} and approximately independent
+// across items. The paper uses xxhash; any family with those statistical
+// properties is equivalent (the protocol's estimator only depends on the
+// marginal support probabilities p and q=1/g). We use a keyed
+// splitmix64-style finalizer: strong avalanche, two multiplies per hash,
+// zero allocations — and statistically validated in the package tests.
+package hashx
+
+import "math/bits"
+
+// Hash64 returns a 64-bit hash of x under the function indexed by seed.
+// Distinct seeds index (statistically) independent functions.
+func Hash64(seed, x uint64) uint64 {
+	z := x + seed*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	// Second round keyed by the seed to decorrelate the family across
+	// seeds that differ in few bits.
+	z ^= seed
+	z = (z ^ (z >> 33)) * 0xff51afd7ed558ccd
+	z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53
+	return z ^ (z >> 33)
+}
+
+// HashToRange maps x to {0, ..., g-1} under the function indexed by seed
+// using fixed-point range reduction (unbiased up to 2^-64).
+func HashToRange(seed, x uint64, g int) int {
+	hi, _ := bits.Mul64(Hash64(seed, x), uint64(g))
+	return int(hi)
+}

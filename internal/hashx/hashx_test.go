@@ -1,0 +1,149 @@
+package hashx
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash64Deterministic(t *testing.T) {
+	if Hash64(1, 2) != Hash64(1, 2) {
+		t.Fatal("Hash64 not deterministic")
+	}
+}
+
+func TestHash64SeedSensitivity(t *testing.T) {
+	// Consecutive seeds must behave as unrelated functions.
+	collisions := 0
+	for seed := uint64(0); seed < 1000; seed++ {
+		if Hash64(seed, 42) == Hash64(seed+1, 42) {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("%d seed collisions on the same input", collisions)
+	}
+}
+
+func TestHash64InputSensitivity(t *testing.T) {
+	collisions := 0
+	for x := uint64(0); x < 10000; x++ {
+		if Hash64(7, x) == Hash64(7, x+1) {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("%d adjacent-input collisions", collisions)
+	}
+}
+
+// TestAvalanche flips each input bit and requires ~32 output bits to flip
+// on average (within a tolerance), the standard avalanche criterion.
+func TestAvalanche(t *testing.T) {
+	const trials = 2000
+	var totalFlips, totalPairs float64
+	for i := 0; i < trials; i++ {
+		x := uint64(i) * 0x9e3779b97f4a7c15
+		h := Hash64(1234, x)
+		for b := 0; b < 64; b++ {
+			h2 := Hash64(1234, x^(1<<uint(b)))
+			totalFlips += float64(bits.OnesCount64(h ^ h2))
+			totalPairs++
+		}
+	}
+	avg := totalFlips / totalPairs
+	if math.Abs(avg-32) > 1 {
+		t.Fatalf("avalanche average %v bit flips, want ~32", avg)
+	}
+}
+
+// TestHashToRangeUniform checks chi-square uniformity of HashToRange over
+// small g for sequential inputs (the exact access pattern OLH uses:
+// hashing item ids 0..d-1).
+func TestHashToRangeUniform(t *testing.T) {
+	for _, g := range []int{2, 3, 5, 8, 16} {
+		const n = 120000
+		counts := make([]float64, g)
+		for x := 0; x < n; x++ {
+			v := HashToRange(99, uint64(x), g)
+			if v < 0 || v >= g {
+				t.Fatalf("g=%d: out of range %d", g, v)
+			}
+			counts[v]++
+		}
+		exp := float64(n) / float64(g)
+		var chi2 float64
+		for _, c := range counts {
+			d := c - exp
+			chi2 += d * d / exp
+		}
+		// Generous: chi2 ~ g-1 dof; bound at ~6 sigma.
+		limit := float64(g-1) + 6*math.Sqrt(2*float64(g-1)) + 10
+		if chi2 > limit {
+			t.Fatalf("g=%d: chi2=%v > %v", g, chi2, limit)
+		}
+	}
+}
+
+// TestPairwiseIndependence estimates P(H(x1)=H(x2)) over random seeds; for
+// a uniform family it must be ~1/g. OLH's variance analysis relies on this.
+func TestPairwiseIndependence(t *testing.T) {
+	const g = 3
+	const trials = 200000
+	hits := 0
+	for seed := uint64(0); seed < trials; seed++ {
+		if HashToRange(seed, 10, g) == HashToRange(seed, 20, g) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if math.Abs(got-1.0/g) > 0.005 {
+		t.Fatalf("collision rate %v want %v", got, 1.0/g)
+	}
+}
+
+// TestPerItemUniformAcrossSeeds: for a fixed item, the hash value across
+// random seeds must be uniform (this is the distribution OLH aggregation
+// sees for non-matching items).
+func TestPerItemUniformAcrossSeeds(t *testing.T) {
+	const g = 4
+	const trials = 200000
+	counts := make([]float64, g)
+	for seed := uint64(0); seed < trials; seed++ {
+		counts[HashToRange(seed, 123, g)]++
+	}
+	exp := float64(trials) / g
+	for i, c := range counts {
+		if math.Abs(c-exp)/exp > 0.02 {
+			t.Fatalf("value %d: count %v want %v", i, c, exp)
+		}
+	}
+}
+
+func TestHashToRangeProperty(t *testing.T) {
+	f := func(seed, x uint64, graw uint8) bool {
+		g := int(graw%100) + 1
+		v := HashToRange(seed, x, g)
+		return v >= 0 && v < g
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Hash64(uint64(i), uint64(i*3))
+	}
+	_ = sink
+}
+
+func BenchmarkHashToRange(b *testing.B) {
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink ^= HashToRange(uint64(i), uint64(i*3), 3)
+	}
+	_ = sink
+}

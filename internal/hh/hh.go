@@ -1,0 +1,260 @@
+// Package hh implements heavy-hitter identification over a large domain
+// using the prefix extension method (PEM, after Bassily et al. and Wang
+// et al.), built on this repository's frequency-oracle substrate. The
+// paper motivates defending frequency estimation because it "can serve as
+// the building block of more advanced tasks" (§II); this package is that
+// advanced task, wired to the same poisoning-recovery machinery.
+//
+// Users hold items in [0, 2^Bits). The population is split into one group
+// per level; group g reports the item's prefix of length StartBits +
+// g·StepBits through OLH over the prefix domain. The server walks the
+// prefix trie, keeping the CandidateBudget most frequent candidates per
+// level and extending them, and returns the K most frequent full-length
+// items.
+//
+// Poisoning: an attacker who promotes a target item at every level drags
+// it into the top-K (the frequency-gain attack lifted to prefixes). The
+// Defense hook post-processes each level's candidate estimates;
+// SuppressTargets implements the partial-knowledge deduction of Eq. 30
+// restricted to the level's candidate set.
+package hh
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+// Config parameterizes identification.
+type Config struct {
+	// Bits is the item width: the domain is [0, 2^Bits).
+	Bits int
+	// StartBits is the first level's prefix length (default 4).
+	StartBits int
+	// StepBits is the prefix growth per level (default 2).
+	StepBits int
+	// K is the number of heavy hitters to return.
+	K int
+	// CandidateBudget caps candidates kept per level (default 2K).
+	CandidateBudget int
+	// Epsilon is the per-user privacy budget (each user reports once).
+	Epsilon float64
+	// Defense, when non-nil, post-processes each level's candidate
+	// frequency estimates before selection. levelBits is the prefix
+	// length; candidates[i] corresponds to estimates[i].
+	Defense func(levelBits int, candidates []int, estimates []float64, pr ldp.Params, total int64) []float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.StartBits == 0 {
+		c.StartBits = 4
+	}
+	if c.StepBits == 0 {
+		c.StepBits = 2
+	}
+	if c.CandidateBudget == 0 {
+		c.CandidateBudget = 2 * c.K
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Bits < 1 || c.Bits > 24 {
+		return fmt.Errorf("hh: bits %d outside [1,24]", c.Bits)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("hh: k %d < 1", c.K)
+	}
+	if c.StartBits < 1 || c.StartBits > c.Bits {
+		return fmt.Errorf("hh: start bits %d outside [1,%d]", c.StartBits, c.Bits)
+	}
+	if c.StepBits < 1 {
+		return fmt.Errorf("hh: step bits %d < 1", c.StepBits)
+	}
+	if c.Epsilon <= 0 || math.IsNaN(c.Epsilon) {
+		return fmt.Errorf("hh: invalid epsilon %v", c.Epsilon)
+	}
+	return nil
+}
+
+// levels returns the prefix lengths of each round, ending exactly at
+// Bits.
+func (c Config) levels() []int {
+	var out []int
+	for pl := c.StartBits; pl < c.Bits; pl += c.StepBits {
+		out = append(out, pl)
+	}
+	return append(out, c.Bits)
+}
+
+// Result carries identification output.
+type Result struct {
+	// Items are the identified heavy hitters, most frequent first.
+	Items []int
+	// Frequencies are the final-level estimates for Items.
+	Frequencies []float64
+	// Levels records the prefix length of each round.
+	Levels []int
+}
+
+// Identify runs PEM over the users' items. maliciousPerLevel, when
+// non-nil, is invoked once per level and returns extra attacker-crafted
+// reports to inject into that level's group (the poisoning hook used by
+// tests and experiments).
+func Identify(r *rng.Rand, cfg Config, items []int,
+	maliciousPerLevel func(levelBits int, proto *ldp.OLH) ([]ldp.Report, error)) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, errors.New("hh: nil random generator")
+	}
+	if len(items) == 0 {
+		return nil, errors.New("hh: no users")
+	}
+	domain := 1 << uint(cfg.Bits)
+	for i, it := range items {
+		if it < 0 || it >= domain {
+			return nil, fmt.Errorf("hh: item %d at index %d outside [0,%d)", it, i, domain)
+		}
+	}
+
+	levels := cfg.levels()
+	// Split users into one group per level.
+	groups := make([][]int, len(levels))
+	for i, it := range items {
+		g := i % len(levels)
+		groups[g] = append(groups[g], it)
+	}
+
+	// Level 0 candidates: all StartBits-prefixes.
+	candidates := make([]int, 1<<uint(cfg.StartBits))
+	for i := range candidates {
+		candidates[i] = i
+	}
+
+	var lastEstimates []float64
+	for li, pl := range levels {
+		prefixDomain := 1 << uint(pl)
+		proto, err := ldp.NewOLH(prefixDomain, cfg.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		// Perturb this group's prefixes.
+		reports := make([]ldp.Report, 0, len(groups[li]))
+		shift := uint(cfg.Bits - pl)
+		for _, it := range groups[li] {
+			rep, err := proto.Perturb(r, it>>shift)
+			if err != nil {
+				return nil, err
+			}
+			reports = append(reports, rep)
+		}
+		if maliciousPerLevel != nil {
+			mal, err := maliciousPerLevel(pl, proto)
+			if err != nil {
+				return nil, err
+			}
+			reports = append(reports, mal...)
+		}
+		// Count supports for candidates only (PEM's whole point: never
+		// enumerate the full prefix domain).
+		counts := make([]int64, len(candidates))
+		for _, rep := range reports {
+			for ci, cand := range candidates {
+				if rep.Supports(cand) {
+					counts[ci]++
+				}
+			}
+		}
+		pr := proto.Params()
+		total := int64(len(reports))
+		estimates := make([]float64, len(candidates))
+		for ci, c := range counts {
+			estimates[ci] = (float64(c) - float64(total)*pr.Q) /
+				(float64(total) * (pr.P - pr.Q))
+		}
+		if cfg.Defense != nil {
+			estimates = cfg.Defense(pl, candidates, estimates, pr, total)
+			if len(estimates) != len(candidates) {
+				return nil, errors.New("hh: defense changed the candidate count")
+			}
+		}
+
+		// Keep the strongest candidates.
+		order := make([]int, len(candidates))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ea, eb := estimates[order[a]], estimates[order[b]]
+			if ea != eb {
+				return ea > eb
+			}
+			return candidates[order[a]] < candidates[order[b]]
+		})
+		keep := cfg.CandidateBudget
+		if pl == cfg.Bits {
+			keep = cfg.K
+		}
+		if keep > len(order) {
+			keep = len(order)
+		}
+		kept := make([]int, keep)
+		keptEst := make([]float64, keep)
+		for i := 0; i < keep; i++ {
+			kept[i] = candidates[order[i]]
+			keptEst[i] = estimates[order[i]]
+		}
+		if pl == cfg.Bits {
+			return &Result{Items: kept, Frequencies: keptEst, Levels: levels}, nil
+		}
+		// Extend survivors by the next level's additional bits.
+		nextPl := levels[li+1]
+		ext := nextPl - pl
+		next := make([]int, 0, keep<<uint(ext))
+		for _, cand := range kept {
+			base := cand << uint(ext)
+			for e := 0; e < 1<<uint(ext); e++ {
+				next = append(next, base|e)
+			}
+		}
+		candidates = next
+		lastEstimates = keptEst
+	}
+	_ = lastEstimates // unreachable: the final level returns above
+	return nil, errors.New("hh: no levels executed")
+}
+
+// SuppressTargets returns a Defense that deducts the attacker's expected
+// per-level gain from suspected target items (Eq. 30's partial-knowledge
+// allocation restricted to the candidate set): for a suspected item's
+// prefix, subtract eta·(1-q)/(p-q) — the frequency a crafted report
+// contributes — and clip all candidates at zero.
+func SuppressTargets(bits int, suspects []int, eta float64) func(int, []int, []float64, ldp.Params, int64) []float64 {
+	return func(levelBits int, candidates []int, estimates []float64, pr ldp.Params, _ int64) []float64 {
+		shift := uint(bits - levelBits)
+		suspectPrefix := make(map[int]bool, len(suspects))
+		for _, s := range suspects {
+			suspectPrefix[s>>shift] = true
+		}
+		out := make([]float64, len(estimates))
+		share := eta * (1 - pr.Q) / (pr.P - pr.Q)
+		for i, cand := range candidates {
+			v := estimates[i]
+			if suspectPrefix[cand] {
+				v -= share
+			}
+			if v < 0 {
+				v = 0
+			}
+			out[i] = v
+		}
+		return out
+	}
+}

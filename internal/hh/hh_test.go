@@ -1,0 +1,189 @@
+package hh
+
+import (
+	"testing"
+
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+func TestConfigValidation(t *testing.T) {
+	r := rng.New(1)
+	items := []int{0, 1, 2}
+	bad := []Config{
+		{Bits: 0, K: 3, Epsilon: 1},
+		{Bits: 30, K: 3, Epsilon: 1},
+		{Bits: 8, K: 0, Epsilon: 1},
+		{Bits: 8, K: 3, Epsilon: 0},
+		{Bits: 8, K: 3, Epsilon: 1, StartBits: 9},
+		{Bits: 8, K: 3, Epsilon: 1, StepBits: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Identify(r, cfg, items, nil); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, cfg)
+		}
+	}
+	good := Config{Bits: 8, K: 3, Epsilon: 1}
+	if _, err := Identify(nil, good, items, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := Identify(r, good, nil, nil); err == nil {
+		t.Fatal("no users accepted")
+	}
+	if _, err := Identify(r, good, []int{300}, nil); err == nil {
+		t.Fatal("out-of-domain item accepted")
+	}
+}
+
+func TestLevelsEndAtBits(t *testing.T) {
+	cfg := Config{Bits: 10, StartBits: 4, StepBits: 2, K: 1, Epsilon: 1}
+	ls := cfg.levels()
+	if ls[0] != 4 || ls[len(ls)-1] != 10 {
+		t.Fatalf("levels %v", ls)
+	}
+	// Non-aligned step still terminates exactly at Bits.
+	cfg = Config{Bits: 9, StartBits: 4, StepBits: 2, K: 1, Epsilon: 1}
+	ls = cfg.levels()
+	if ls[len(ls)-1] != 9 {
+		t.Fatalf("levels %v", ls)
+	}
+}
+
+// population builds a heavy-tailed population: the given heavy items get
+// heavyShare of the users, the rest spread over the domain.
+func population(r *rng.Rand, n, bits int, heavy []int, heavyShare float64) []int {
+	domain := 1 << uint(bits)
+	items := make([]int, n)
+	perHeavy := heavyShare / float64(len(heavy))
+	for i := range items {
+		u := r.Float64()
+		if u < heavyShare {
+			items[i] = heavy[int(u/perHeavy)%len(heavy)]
+		} else {
+			items[i] = r.Intn(domain)
+		}
+	}
+	return items
+}
+
+func TestIdentifyFindsHeavyHitters(t *testing.T) {
+	const bits, n = 10, 60000
+	r := rng.New(7)
+	heavy := []int{137, 512, 901}
+	items := population(r, n, bits, heavy, 0.5)
+	res, err := Identify(r, Config{Bits: bits, K: 3, Epsilon: 2}, items, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 3 {
+		t.Fatalf("found %v", res.Items)
+	}
+	found := map[int]bool{}
+	for _, it := range res.Items {
+		found[it] = true
+	}
+	hits := 0
+	for _, h := range heavy {
+		if found[h] {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Fatalf("found %v, want >= 2 of %v", res.Items, heavy)
+	}
+	// Frequencies are reported and ordered.
+	for i := 1; i < len(res.Frequencies); i++ {
+		if res.Frequencies[i] > res.Frequencies[i-1]+1e-9 {
+			t.Fatalf("frequencies not sorted: %v", res.Frequencies)
+		}
+	}
+	if res.Levels[len(res.Levels)-1] != bits {
+		t.Fatalf("levels %v", res.Levels)
+	}
+}
+
+// TestIdentifyUnderPromotionAttack: an attacker crafting reports for a
+// cold item's prefix at every level forces it into the top-K; the
+// SuppressTargets defense (with the suspect known, e.g. from outlier
+// detection on the final estimates) demotes it again.
+func TestIdentifyUnderPromotionAttack(t *testing.T) {
+	const bits, n = 10, 60000
+	const fake = 777 // a cold item the attacker promotes
+	heavy := []int{137, 512, 901}
+	mkItems := func() []int {
+		return population(rng.New(7), n, bits, heavy, 0.5)
+	}
+	attack := func(mr *rng.Rand, m int) func(int, *ldp.OLH) ([]ldp.Report, error) {
+		return func(levelBits int, proto *ldp.OLH) ([]ldp.Report, error) {
+			prefix := fake >> uint(bits-levelBits)
+			reports := make([]ldp.Report, m)
+			for i := range reports {
+				rep, err := proto.CraftSupport(mr, prefix)
+				if err != nil {
+					return nil, err
+				}
+				reports[i] = rep
+			}
+			return reports, nil
+		}
+	}
+	// Each level group has ~n/levels users; 8% of that is a strong attack.
+	cfg := Config{Bits: bits, K: 3, Epsilon: 2}
+	groupSize := n / len(cfg.withDefaults().levels())
+	m := groupSize / 12
+
+	r := rng.New(8)
+	resAttacked, err := Identify(r, cfg, mkItems(), attack(rng.New(9), m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted := false
+	for _, it := range resAttacked.Items {
+		if it == fake {
+			promoted = true
+		}
+	}
+	if !promoted {
+		t.Fatalf("attack failed to promote %d: top-k %v", fake, resAttacked.Items)
+	}
+
+	// With the suspect known, the defense suppresses it.
+	eta := float64(m) / float64(groupSize)
+	cfg.Defense = SuppressTargets(bits, []int{fake}, eta)
+	r = rng.New(8)
+	resDefended, err := Identify(r, cfg, mkItems(), attack(rng.New(9), m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range resDefended.Items {
+		if it == fake {
+			t.Fatalf("defense failed: %d still in top-k %v", fake, resDefended.Items)
+		}
+	}
+	// And the true heavy hitters are back.
+	found := map[int]bool{}
+	for _, it := range resDefended.Items {
+		found[it] = true
+	}
+	hits := 0
+	for _, h := range heavy {
+		if found[h] {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Fatalf("defended top-k %v lost the heavy hitters %v", resDefended.Items, heavy)
+	}
+}
+
+func TestDefenseContractEnforced(t *testing.T) {
+	r := rng.New(10)
+	items := population(r, 5000, 8, []int{42}, 0.5)
+	cfg := Config{Bits: 8, K: 2, Epsilon: 1,
+		Defense: func(_ int, _ []int, _ []float64, _ ldp.Params, _ int64) []float64 {
+			return []float64{1} // wrong length
+		}}
+	if _, err := Identify(r, cfg, items, nil); err == nil {
+		t.Fatal("defense contract violation accepted")
+	}
+}

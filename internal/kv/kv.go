@@ -1,0 +1,319 @@
+// Package kv implements the paper's named future-work direction
+// (§VIII): extending LDPRecover to key-value collection under LDP.
+//
+// The protocol ("KV-GRR") is a clean composition of the repository's
+// existing primitives, in the spirit of PrivKV (Ye et al.): each user
+// holds one ⟨key, value⟩ pair with value ∈ [-1, 1]. The key is perturbed
+// with GRR(ε1) over the key domain; a value bit rides along, produced by
+// Harmony-style discretization of the user's value followed by binary
+// randomized response with ε2. The total privacy budget is ε1 + ε2 by
+// sequential composition.
+//
+// Server-side estimation is closed-form and unbiased. With p,q the GRR
+// aggregation pair, t = 2p2-1 the value-bit retention (p2 =
+// e^{ε2}/(1+e^{ε2})), S_j the sum of value bits of reports landing on
+// key j, and V = Σ_u n_u·m_u the global value mass:
+//
+//	E[S_j] = t·(n_j·m_j·(p-q) + q·V)
+//	E[Σ_j S_j] = t·(p+(d-1)q)·V
+//
+// so V, then each key's mean m_j, invert directly — the exact analogue of
+// Eq. 11 for the value channel.
+//
+// Poisoning: a targeted attacker submits (target key, +1) pairs, jointly
+// inflating the target's frequency and mean. RecoverKV applies LDPRecover
+// to the key frequencies (unchanged) and deducts the attacker's expected
+// value-bit mass from the value channel using the same η and target
+// knowledge, recovering both statistics.
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ldprecover/internal/core"
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/rng"
+)
+
+// Pair is one user's datum.
+type Pair struct {
+	// Key is the item identifier in [0, d).
+	Key int
+	// Value is the numeric payload in [-1, 1].
+	Value float64
+}
+
+// Report is one perturbed key-value submission.
+type Report struct {
+	// Key is the GRR-perturbed key.
+	Key int
+	// ValueBit is the perturbed discretized value: -1 or +1.
+	ValueBit int8
+}
+
+// Protocol is the KV-GRR mechanism.
+type Protocol struct {
+	grr *ldp.GRR
+	// p2 is the value-bit retention probability e^{ε2}/(1+e^{ε2}).
+	p2 float64
+	// eps1 and eps2 record the budget split.
+	eps1, eps2 float64
+}
+
+// New constructs KV-GRR over d keys with budget split (eps1 for keys,
+// eps2 for values).
+func New(d int, eps1, eps2 float64) (*Protocol, error) {
+	grr, err := ldp.NewGRR(d, eps1)
+	if err != nil {
+		return nil, err
+	}
+	if eps2 <= 0 || math.IsNaN(eps2) || math.IsInf(eps2, 0) {
+		return nil, fmt.Errorf("kv: invalid value budget %v", eps2)
+	}
+	return &Protocol{
+		grr:  grr,
+		p2:   math.Exp(eps2) / (1 + math.Exp(eps2)),
+		eps1: eps1,
+		eps2: eps2,
+	}, nil
+}
+
+// Domain returns the key domain size.
+func (p *Protocol) Domain() int { return p.grr.Params().Domain }
+
+// KeyParams returns the key channel's aggregation parameters.
+func (p *Protocol) KeyParams() ldp.Params { return p.grr.Params() }
+
+// ValueRetention returns t = 2·p2 - 1, the value channel's signal
+// retention factor.
+func (p *Protocol) ValueRetention() float64 { return 2*p.p2 - 1 }
+
+// Perturb produces one user's report.
+func (p *Protocol) Perturb(r *rng.Rand, pair Pair) (Report, error) {
+	if r == nil {
+		return Report{}, errors.New("kv: nil random generator")
+	}
+	if math.IsNaN(pair.Value) || pair.Value < -1 || pair.Value > 1 {
+		return Report{}, fmt.Errorf("kv: value %v outside [-1,1]", pair.Value)
+	}
+	keyRep, err := p.grr.Perturb(r, pair.Key)
+	if err != nil {
+		return Report{}, err
+	}
+	// Harmony discretization of the value.
+	bit := int8(-1)
+	if r.Bernoulli((1 + pair.Value) / 2) {
+		bit = 1
+	}
+	// Binary randomized response on the bit.
+	if !r.Bernoulli(p.p2) {
+		bit = -bit
+	}
+	return Report{Key: int(keyRep.(ldp.GRRReport)), ValueBit: bit}, nil
+}
+
+// CraftReport is the attacker primitive: an unperturbed (key, +1 or -1)
+// submission promoting the key and dragging its mean toward sign.
+func (p *Protocol) CraftReport(key int, sign int8) (Report, error) {
+	if key < 0 || key >= p.Domain() {
+		return Report{}, fmt.Errorf("kv: key %d outside domain [0,%d)", key, p.Domain())
+	}
+	if sign != 1 && sign != -1 {
+		return Report{}, fmt.Errorf("kv: crafted value bit must be ±1, got %d", sign)
+	}
+	return Report{Key: key, ValueBit: sign}, nil
+}
+
+// Aggregate is the raw server-side tally: per-key report counts and
+// value-bit sums.
+type Aggregate struct {
+	// Counts[j] is the number of reports whose key landed on j.
+	Counts []int64
+	// ValueSums[j] is the sum of value bits of those reports.
+	ValueSums []float64
+	// Total is the number of reports aggregated.
+	Total int64
+}
+
+// AggregateReports tallies reports over a domain of size d.
+func AggregateReports(reports []Report, d int) (*Aggregate, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("kv: invalid domain %d", d)
+	}
+	agg := &Aggregate{
+		Counts:    make([]int64, d),
+		ValueSums: make([]float64, d),
+		Total:     int64(len(reports)),
+	}
+	for i, rep := range reports {
+		if rep.Key < 0 || rep.Key >= d {
+			return nil, fmt.Errorf("kv: report %d has key %d outside [0,%d)", i, rep.Key, d)
+		}
+		if rep.ValueBit != 1 && rep.ValueBit != -1 {
+			return nil, fmt.Errorf("kv: report %d has value bit %d", i, rep.ValueBit)
+		}
+		agg.Counts[rep.Key]++
+		agg.ValueSums[rep.Key] += float64(rep.ValueBit)
+	}
+	return agg, nil
+}
+
+// Estimate carries per-key frequency and mean estimates.
+type Estimate struct {
+	// Frequencies is the unbiased key-frequency vector.
+	Frequencies []float64
+	// Means is the per-key value mean estimate, clamped to [-1, 1]; keys
+	// with non-positive estimated mass fall back to 0.
+	Means []float64
+}
+
+// Estimate inverts the aggregation into unbiased frequency and mean
+// estimates.
+func (p *Protocol) Estimate(agg *Aggregate) (*Estimate, error) {
+	if agg == nil {
+		return nil, errors.New("kv: nil aggregate")
+	}
+	d := p.Domain()
+	if len(agg.Counts) != d || len(agg.ValueSums) != d {
+		return nil, fmt.Errorf("kv: aggregate domain mismatch")
+	}
+	if agg.Total <= 0 {
+		return nil, errors.New("kv: empty aggregate")
+	}
+	pr := p.grr.Params()
+	freqs, err := ldp.Unbias(agg.Counts, agg.Total, pr)
+	if err != nil {
+		return nil, err
+	}
+	t := p.ValueRetention()
+	n := float64(agg.Total)
+	// V̂ = Σ_j S_j / (t·(p+(d-1)q)).
+	var sTotal float64
+	for _, s := range agg.ValueSums {
+		sTotal += s
+	}
+	vHat := sTotal / (t * (pr.P + float64(d-1)*pr.Q))
+	means := make([]float64, d)
+	for j := 0; j < d; j++ {
+		// n_j·m_j = (S_j/t - q·V̂)/(p-q); m_j = that / (n·f_j).
+		mass := (agg.ValueSums[j]/t - pr.Q*vHat) / (pr.P - pr.Q)
+		nj := n * freqs[j]
+		if nj <= 0 {
+			means[j] = 0
+			continue
+		}
+		m := mass / nj
+		if m > 1 {
+			m = 1
+		}
+		if m < -1 {
+			m = -1
+		}
+		means[j] = m
+	}
+	return &Estimate{Frequencies: freqs, Means: means}, nil
+}
+
+// RecoverOptions configures KV recovery.
+type RecoverOptions struct {
+	// Eta is the assumed malicious/genuine ratio (0 = core default).
+	Eta float64
+	// Targets are attacker-promoted keys, when known. They drive both
+	// LDPRecover* on the frequency channel and the value-channel
+	// deduction.
+	Targets []int
+	// AttackSign is the value the attacker pushes targets toward (+1 or
+	// -1); defaults to +1.
+	AttackSign int8
+}
+
+// Recovered carries recovery outputs for both channels.
+type Recovered struct {
+	// Frequencies is the recovered key-frequency simplex point.
+	Frequencies []float64
+	// Means is the recovered per-key mean vector.
+	Means []float64
+	// FrequencyResult is the underlying frequency recovery diagnostics.
+	FrequencyResult *core.Result
+}
+
+// Recover applies LDPRecover to a poisoned key-value aggregate: the key
+// frequencies run through the standard pipeline, and with target
+// knowledge the attacker's expected value-bit mass η·n·sign per target is
+// deducted from the value channel before mean inversion.
+func (p *Protocol) Recover(agg *Aggregate, opts RecoverOptions) (*Recovered, error) {
+	if agg == nil {
+		return nil, errors.New("kv: nil aggregate")
+	}
+	pr := p.grr.Params()
+	d := p.Domain()
+	freqs, err := ldp.Unbias(agg.Counts, agg.Total, pr)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Recover(freqs, core.Params{P: pr.P, Q: pr.Q, Domain: d}, core.Options{
+		Eta:     opts.Eta,
+		Targets: opts.Targets,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sign := opts.AttackSign
+	if sign == 0 {
+		sign = 1
+	}
+	if sign != 1 && sign != -1 {
+		return nil, fmt.Errorf("kv: attack sign must be ±1, got %d", sign)
+	}
+
+	// Genuine population size under the assumed ratio: n_total = n(1+η)
+	// => n ≈ total/(1+η), malicious m ≈ total - n.
+	eta := res.Eta
+	nGenuine := float64(agg.Total) / (1 + eta)
+	mMalicious := float64(agg.Total) - nGenuine
+
+	// Deduct the attacker's expected value-bit mass from the targets'
+	// sums (crafted bits bypass perturbation, so no 1/t correction), then
+	// invert means against the RECOVERED frequencies and genuine count.
+	sums := append([]float64(nil), agg.ValueSums...)
+	if len(opts.Targets) > 0 {
+		share := mMalicious * float64(sign) / float64(len(opts.Targets))
+		for _, tgt := range opts.Targets {
+			if tgt < 0 || tgt >= d {
+				return nil, fmt.Errorf("kv: target %d outside domain [0,%d)", tgt, d)
+			}
+			sums[tgt] -= share
+		}
+	}
+	t := p.ValueRetention()
+	var sTotal float64
+	for _, s := range sums {
+		sTotal += s
+	}
+	vHat := sTotal / (t * (pr.P + float64(d-1)*pr.Q))
+	means := make([]float64, d)
+	for j := 0; j < d; j++ {
+		mass := (sums[j]/t - pr.Q*vHat) / (pr.P - pr.Q)
+		nj := nGenuine * res.Frequencies[j]
+		if nj <= 0 {
+			means[j] = 0
+			continue
+		}
+		m := mass / nj
+		if m > 1 {
+			m = 1
+		}
+		if m < -1 {
+			m = -1
+		}
+		means[j] = m
+	}
+	return &Recovered{
+		Frequencies:     res.Frequencies,
+		Means:           means,
+		FrequencyResult: res,
+	}, nil
+}

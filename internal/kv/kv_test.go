@@ -1,0 +1,261 @@
+package kv
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0.5, 0.5); err == nil {
+		t.Fatal("d=1 accepted")
+	}
+	if _, err := New(10, 0, 0.5); err == nil {
+		t.Fatal("eps1=0 accepted")
+	}
+	if _, err := New(10, 0.5, 0); err == nil {
+		t.Fatal("eps2=0 accepted")
+	}
+	if _, err := New(10, 0.5, math.NaN()); err == nil {
+		t.Fatal("eps2=NaN accepted")
+	}
+	p, err := New(10, 0.5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Domain() != 10 {
+		t.Fatalf("domain %d", p.Domain())
+	}
+	wantT := 2*math.Exp(1)/(1+math.Exp(1)) - 1
+	if math.Abs(p.ValueRetention()-wantT) > 1e-12 {
+		t.Fatalf("retention %v want %v", p.ValueRetention(), wantT)
+	}
+}
+
+func TestPerturbValidation(t *testing.T) {
+	p, _ := New(10, 0.5, 0.5)
+	r := rng.New(1)
+	if _, err := p.Perturb(nil, Pair{0, 0}); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := p.Perturb(r, Pair{0, 1.5}); err == nil {
+		t.Fatal("value out of range accepted")
+	}
+	if _, err := p.Perturb(r, Pair{-1, 0}); err == nil {
+		t.Fatal("bad key accepted")
+	}
+	rep, err := p.Perturb(r, Pair{3, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ValueBit != 1 && rep.ValueBit != -1 {
+		t.Fatalf("value bit %d", rep.ValueBit)
+	}
+}
+
+func TestCraftReport(t *testing.T) {
+	p, _ := New(10, 0.5, 0.5)
+	rep, err := p.CraftReport(4, 1)
+	if err != nil || rep.Key != 4 || rep.ValueBit != 1 {
+		t.Fatalf("crafted %+v (err %v)", rep, err)
+	}
+	if _, err := p.CraftReport(10, 1); err == nil {
+		t.Fatal("bad key accepted")
+	}
+	if _, err := p.CraftReport(1, 0); err == nil {
+		t.Fatal("bad sign accepted")
+	}
+}
+
+func TestAggregateReportsValidation(t *testing.T) {
+	if _, err := AggregateReports(nil, 1); err == nil {
+		t.Fatal("d=1 accepted")
+	}
+	if _, err := AggregateReports([]Report{{Key: 5, ValueBit: 1}}, 3); err == nil {
+		t.Fatal("key out of range accepted")
+	}
+	if _, err := AggregateReports([]Report{{Key: 1, ValueBit: 0}}, 3); err == nil {
+		t.Fatal("bad value bit accepted")
+	}
+	agg, err := AggregateReports([]Report{{0, 1}, {0, -1}, {2, 1}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Counts[0] != 2 || agg.ValueSums[0] != 0 || agg.Counts[2] != 1 {
+		t.Fatalf("agg %+v", agg)
+	}
+}
+
+// buildPopulation creates n users over d keys with key frequencies fs and
+// per-key means ms (point masses for exactness).
+func buildPopulation(d int, n int, fs, ms []float64) []Pair {
+	pairs := make([]Pair, 0, n)
+	for k := 0; k < d; k++ {
+		cnt := int(math.Round(fs[k] * float64(n)))
+		for i := 0; i < cnt && len(pairs) < n; i++ {
+			pairs = append(pairs, Pair{Key: k, Value: ms[k]})
+		}
+	}
+	for len(pairs) < n {
+		pairs = append(pairs, Pair{Key: 0, Value: ms[0]})
+	}
+	return pairs
+}
+
+// TestEstimateUnbiased runs the full clean pipeline and checks both
+// channels converge to the truth.
+func TestEstimateUnbiased(t *testing.T) {
+	const d, n = 8, 60000
+	p, err := New(d, 1.5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := []float64{0.3, 0.2, 0.15, 0.1, 0.1, 0.06, 0.05, 0.04}
+	ms := []float64{0.8, -0.5, 0.3, 0.0, -0.9, 0.6, 0.2, -0.2}
+	pairs := buildPopulation(d, n, fs, ms)
+	r := rng.New(2)
+	// Average several independent collections: single-run mean estimates
+	// for rare keys carry noise ~1/f_k, and this test checks bias, not
+	// variance.
+	const trials = 6
+	avgF := make([]float64, d)
+	avgM := make([]float64, d)
+	for trial := 0; trial < trials; trial++ {
+		reports := make([]Report, len(pairs))
+		for i, pair := range pairs {
+			rep, err := p.Perturb(r, pair)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports[i] = rep
+		}
+		agg, err := AggregateReports(reports, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := p.Estimate(agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < d; k++ {
+			avgF[k] += est.Frequencies[k] / trials
+			avgM[k] += est.Means[k] / trials
+		}
+	}
+	for k := 0; k < d; k++ {
+		if math.Abs(avgF[k]-fs[k]) > 0.02 {
+			t.Fatalf("key %d frequency %v want %v", k, avgF[k], fs[k])
+		}
+		tol := 0.015 / fs[k]
+		if tol < 0.1 {
+			tol = 0.1
+		}
+		if math.Abs(avgM[k]-ms[k]) > tol {
+			t.Fatalf("key %d mean %v want %v (tol %v)", k, avgM[k], ms[k], tol)
+		}
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	p, _ := New(5, 0.5, 0.5)
+	if _, err := p.Estimate(nil); err == nil {
+		t.Fatal("nil aggregate accepted")
+	}
+	if _, err := p.Estimate(&Aggregate{Counts: make([]int64, 3), ValueSums: make([]float64, 3), Total: 1}); err == nil {
+		t.Fatal("domain mismatch accepted")
+	}
+	if _, err := p.Estimate(&Aggregate{Counts: make([]int64, 5), ValueSums: make([]float64, 5), Total: 0}); err == nil {
+		t.Fatal("empty aggregate accepted")
+	}
+}
+
+// TestRecoverKVUnderAttack poisons both channels of a target key and
+// verifies recovery restores frequency and mean.
+func TestRecoverKVUnderAttack(t *testing.T) {
+	const d, n = 8, 60000
+	const target = 2
+	p, err := New(d, 1.5, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := []float64{0.3, 0.2, 0.15, 0.1, 0.1, 0.06, 0.05, 0.04}
+	ms := []float64{0.8, -0.5, -0.6, 0.0, -0.9, 0.6, 0.2, -0.2}
+	pairs := buildPopulation(d, n, fs, ms)
+	r := rng.New(3)
+	reports := make([]Report, 0, n+n/19)
+	for _, pair := range pairs {
+		rep, err := p.Perturb(r, pair)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	// Attacker: beta ~= 0.05, promoting the target key and dragging its
+	// mean (truth -0.6) toward +1.
+	m := n / 19
+	for i := 0; i < m; i++ {
+		rep, err := p.CraftReport(target, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	agg, err := AggregateReports(reports, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned, err := p.Estimate(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attack must be visible on both channels.
+	if poisoned.Frequencies[target] < fs[target]+0.1 {
+		t.Fatalf("frequency attack ineffective: %v", poisoned.Frequencies[target])
+	}
+	if poisoned.Means[target] < ms[target]+0.3 {
+		t.Fatalf("mean attack ineffective: %v", poisoned.Means[target])
+	}
+
+	etaTrue := float64(m) / float64(n)
+	rec, err := p.Recover(agg, RecoverOptions{Eta: etaTrue, Targets: []int{target}, AttackSign: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequency restored.
+	if math.Abs(rec.Frequencies[target]-fs[target]) > math.Abs(poisoned.Frequencies[target]-fs[target])/2 {
+		t.Fatalf("frequency not recovered: poisoned %v recovered %v true %v",
+			poisoned.Frequencies[target], rec.Frequencies[target], fs[target])
+	}
+	// Mean restored.
+	errPoisoned := math.Abs(poisoned.Means[target] - ms[target])
+	errRecovered := math.Abs(rec.Means[target] - ms[target])
+	if errRecovered > errPoisoned/2 {
+		t.Fatalf("mean not recovered: poisoned %v recovered %v true %v",
+			poisoned.Means[target], rec.Means[target], ms[target])
+	}
+	// Non-target keys stay accurate.
+	for k := 0; k < d; k++ {
+		if k == target {
+			continue
+		}
+		if math.Abs(rec.Means[k]-ms[k]) > 0.3 {
+			t.Fatalf("non-target key %d mean drifted: %v want %v", k, rec.Means[k], ms[k])
+		}
+	}
+}
+
+func TestRecoverValidation(t *testing.T) {
+	p, _ := New(5, 0.5, 0.5)
+	if _, err := p.Recover(nil, RecoverOptions{}); err == nil {
+		t.Fatal("nil aggregate accepted")
+	}
+	agg := &Aggregate{Counts: make([]int64, 5), ValueSums: make([]float64, 5), Total: 100}
+	agg.Counts[0] = 100
+	if _, err := p.Recover(agg, RecoverOptions{Targets: []int{9}}); err == nil {
+		t.Fatal("target out of range accepted")
+	}
+	if _, err := p.Recover(agg, RecoverOptions{AttackSign: 3}); err == nil {
+		t.Fatal("bad sign accepted")
+	}
+}

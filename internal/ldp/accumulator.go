@@ -1,0 +1,68 @@
+package ldp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Accumulator is a streaming server-side aggregator: reports arrive one
+// at a time (e.g. off the wire via UnmarshalReport), support counts
+// accumulate incrementally, and partial aggregates from different shards
+// merge. It is NOT safe for concurrent use; shard per goroutine and
+// Merge.
+type Accumulator struct {
+	counts []int64
+	total  int64
+}
+
+// NewAccumulator returns an empty accumulator over a domain of size d.
+func NewAccumulator(d int) (*Accumulator, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("ldp: accumulator domain %d < 2", d)
+	}
+	return &Accumulator{counts: make([]int64, d)}, nil
+}
+
+// Add folds one report into the aggregate.
+func (a *Accumulator) Add(rep Report) error {
+	if rep == nil {
+		return errors.New("ldp: nil report")
+	}
+	rep.AddSupports(a.counts)
+	a.total++
+	return nil
+}
+
+// Merge folds another accumulator's state into this one. The other
+// accumulator is left untouched.
+func (a *Accumulator) Merge(other *Accumulator) error {
+	if other == nil {
+		return errors.New("ldp: nil accumulator")
+	}
+	if len(other.counts) != len(a.counts) {
+		return fmt.Errorf("ldp: merging accumulators over domains %d and %d",
+			len(other.counts), len(a.counts))
+	}
+	for v, c := range other.counts {
+		a.counts[v] += c
+	}
+	a.total += other.total
+	return nil
+}
+
+// Total returns the number of reports folded in.
+func (a *Accumulator) Total() int64 { return a.total }
+
+// Counts returns a copy of the raw support counts.
+func (a *Accumulator) Counts() []int64 {
+	return append([]int64(nil), a.counts...)
+}
+
+// Estimate produces the unbiased frequency estimates for the current
+// aggregate under the protocol parameters pr.
+func (a *Accumulator) Estimate(pr Params) ([]float64, error) {
+	if a.total == 0 {
+		return nil, errors.New("ldp: estimating from an empty accumulator")
+	}
+	return Unbias(a.counts, a.total, pr)
+}

@@ -1,0 +1,118 @@
+package ldp
+
+import (
+	"testing"
+
+	"ldprecover/internal/rng"
+)
+
+func TestNewAccumulatorValidation(t *testing.T) {
+	if _, err := NewAccumulator(1); err == nil {
+		t.Fatal("d=1 accepted")
+	}
+}
+
+func TestAccumulatorAddAndEstimate(t *testing.T) {
+	acc, err := NewAccumulator(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(GRRReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(GRRReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add(GRRReport(3)); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Total() != 3 {
+		t.Fatalf("total %d", acc.Total())
+	}
+	counts := acc.Counts()
+	if counts[1] != 2 || counts[3] != 1 || counts[0] != 0 {
+		t.Fatalf("counts %v", counts)
+	}
+	if err := acc.Add(nil); err == nil {
+		t.Fatal("nil report accepted")
+	}
+	pr := Params{Epsilon: 1, Domain: 4, P: 0.6, Q: 0.2}
+	if _, err := acc.Estimate(pr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulatorEstimateEmpty(t *testing.T) {
+	acc, _ := NewAccumulator(4)
+	pr := Params{Epsilon: 1, Domain: 4, P: 0.6, Q: 0.2}
+	if _, err := acc.Estimate(pr); err == nil {
+		t.Fatal("empty accumulator estimated")
+	}
+}
+
+func TestAccumulatorMerge(t *testing.T) {
+	a, _ := NewAccumulator(3)
+	b, _ := NewAccumulator(3)
+	_ = a.Add(GRRReport(0))
+	_ = b.Add(GRRReport(2))
+	_ = b.Add(GRRReport(2))
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != 3 || a.Counts()[2] != 2 {
+		t.Fatalf("merged state: total %d counts %v", a.Total(), a.Counts())
+	}
+	// b untouched.
+	if b.Total() != 2 {
+		t.Fatalf("merge mutated source: %d", b.Total())
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Fatal("nil merge accepted")
+	}
+	c, _ := NewAccumulator(5)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("domain mismatch accepted")
+	}
+}
+
+// TestAccumulatorMatchesBatchAggregation: the streaming path and the
+// batch CountSupports path must agree exactly.
+func TestAccumulatorMatchesBatchAggregation(t *testing.T) {
+	const d, eps = 10, 0.7
+	olh, _ := NewOLH(d, eps)
+	r := rng.New(3)
+	trueCounts := make([]int64, d)
+	for i := range trueCounts {
+		trueCounts[i] = 150
+	}
+	reports, err := PerturbAll(olh, r, trueCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := CountSupports(reports, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two shards, merged.
+	s1, _ := NewAccumulator(d)
+	s2, _ := NewAccumulator(d)
+	for i, rep := range reports {
+		if i%2 == 0 {
+			_ = s1.Add(rep)
+		} else {
+			_ = s2.Add(rep)
+		}
+	}
+	if err := s1.Merge(s2); err != nil {
+		t.Fatal(err)
+	}
+	streamed := s1.Counts()
+	for v := range batch {
+		if batch[v] != streamed[v] {
+			t.Fatalf("counts diverge at %d: %d vs %d", v, batch[v], streamed[v])
+		}
+	}
+	if s1.Total() != int64(len(reports)) {
+		t.Fatalf("total %d want %d", s1.Total(), len(reports))
+	}
+}

@@ -1,0 +1,121 @@
+package ldp
+
+import (
+	"errors"
+	"fmt"
+
+	"ldprecover/internal/rng"
+)
+
+func errLenMismatch(got, want int) error {
+	return fmt.Errorf("ldp: count vector length %d, domain %d", got, want)
+}
+
+func errNegCount(item int, c int64) error {
+	return fmt.Errorf("ldp: negative count %d for item %d", c, item)
+}
+
+func errInvalidG(g int) error {
+	return fmt.Errorf("ldp: hash range g=%d < 2", g)
+}
+
+// CountSupports aggregates raw support counts C(v) (Eq. 12) from reports
+// over a domain of size d.
+func CountSupports(reports []Report, d int) ([]int64, error) {
+	if d < 1 {
+		return nil, errors.New("ldp: non-positive domain")
+	}
+	counts := make([]int64, d)
+	for i, rep := range reports {
+		if rep == nil {
+			return nil, fmt.Errorf("ldp: nil report at index %d", i)
+		}
+		rep.AddSupports(counts)
+	}
+	return counts, nil
+}
+
+// Unbias transforms raw support counts into unbiased frequency estimates
+// via Eq. (11): f̃(v) = (C(v) - n·q) / (n·(p-q)). total is the number of
+// reports the counts were aggregated from.
+func Unbias(counts []int64, total int64, pr Params) ([]float64, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if len(counts) != pr.Domain {
+		return nil, errLenMismatch(len(counts), pr.Domain)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("ldp: non-positive report total %d", total)
+	}
+	n := float64(total)
+	denom := n * (pr.P - pr.Q)
+	fs := make([]float64, len(counts))
+	for v, c := range counts {
+		fs[v] = (float64(c) - n*pr.Q) / denom
+	}
+	return fs, nil
+}
+
+// Rebias is the inverse of Unbias: it converts a frequency-estimate vector
+// back into expected raw support counts. Used by tests and by defenses
+// that need to move between count space and frequency space.
+func Rebias(freqs []float64, total int64, pr Params) ([]float64, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if len(freqs) != pr.Domain {
+		return nil, errLenMismatch(len(freqs), pr.Domain)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("ldp: non-positive report total %d", total)
+	}
+	n := float64(total)
+	counts := make([]float64, len(freqs))
+	for v, f := range freqs {
+		counts[v] = f*n*(pr.P-pr.Q) + n*pr.Q
+	}
+	return counts, nil
+}
+
+// EstimateFrequencies runs the full server-side pipeline on report-level
+// data: support counting followed by unbiasing.
+func EstimateFrequencies(reports []Report, pr Params) ([]float64, error) {
+	counts, err := CountSupports(reports, pr.Domain)
+	if err != nil {
+		return nil, err
+	}
+	return Unbias(counts, int64(len(reports)), pr)
+}
+
+// PerturbAll perturbs a whole population described by per-item true
+// counts, returning one report per user (report-level exact simulation).
+// Report order is deterministic given the generator state: users are
+// processed item by item.
+func PerturbAll(p Protocol, r *rng.Rand, trueCounts []int64) ([]Report, error) {
+	if r == nil {
+		return nil, ErrNilRand
+	}
+	d := p.Params().Domain
+	if len(trueCounts) != d {
+		return nil, errLenMismatch(len(trueCounts), d)
+	}
+	var n int64
+	for u, c := range trueCounts {
+		if c < 0 {
+			return nil, errNegCount(u, c)
+		}
+		n += c
+	}
+	reports := make([]Report, 0, n)
+	for v, c := range trueCounts {
+		for i := int64(0); i < c; i++ {
+			rep, err := p.Perturb(r, v)
+			if err != nil {
+				return nil, err
+			}
+			reports = append(reports, rep)
+		}
+	}
+	return reports, nil
+}

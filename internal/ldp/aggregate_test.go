@@ -1,0 +1,199 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldprecover/internal/rng"
+	"ldprecover/internal/stats"
+)
+
+func TestCountSupportsGRR(t *testing.T) {
+	reports := []Report{GRRReport(0), GRRReport(1), GRRReport(1), GRRReport(3)}
+	counts, err := CountSupports(reports, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 0, 1}
+	for v := range want {
+		if counts[v] != want[v] {
+			t.Fatalf("counts %v want %v", counts, want)
+		}
+	}
+}
+
+func TestCountSupportsErrors(t *testing.T) {
+	if _, err := CountSupports([]Report{nil}, 4); err == nil {
+		t.Fatal("nil report accepted")
+	}
+	if _, err := CountSupports(nil, 0); err == nil {
+		t.Fatal("zero domain accepted")
+	}
+}
+
+func TestUnbiasRebiasRoundTrip(t *testing.T) {
+	pr := Params{Epsilon: 0.5, Domain: 5, P: 0.6, Q: 0.2}
+	counts := []int64{100, 200, 50, 0, 650}
+	fs, err := Unbias(counts, 1000, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Rebias(fs, 1000, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range counts {
+		if math.Abs(back[v]-float64(counts[v])) > 1e-9 {
+			t.Fatalf("round trip count[%d] = %v want %d", v, back[v], counts[v])
+		}
+	}
+}
+
+func TestUnbiasRoundTripProperty(t *testing.T) {
+	pr := Params{Epsilon: 1, Domain: 8, P: 0.5, Q: 0.25}
+	f := func(raw [8]uint16, totRaw uint16) bool {
+		total := int64(totRaw) + 1
+		counts := make([]int64, 8)
+		for i, v := range raw {
+			counts[i] = int64(v)
+		}
+		fs, err := Unbias(counts, total, pr)
+		if err != nil {
+			return false
+		}
+		back, err := Rebias(fs, total, pr)
+		if err != nil {
+			return false
+		}
+		for v := range counts {
+			if math.Abs(back[v]-float64(counts[v])) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnbiasValidation(t *testing.T) {
+	pr := Params{Epsilon: 0.5, Domain: 3, P: 0.6, Q: 0.2}
+	if _, err := Unbias([]int64{1, 2}, 10, pr); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Unbias([]int64{1, 2, 3}, 0, pr); err == nil {
+		t.Fatal("zero total accepted")
+	}
+	bad := pr
+	bad.P = 0.1 // p < q
+	if _, err := Unbias([]int64{1, 2, 3}, 10, bad); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+// TestUnbiasedSumGRR: for GRR (every report supports exactly one item)
+// the unbiased frequency estimates always sum to exactly 1:
+// sum_v (C(v) - nq)/(n(p-q)) = (n - nqd)/(n(p-q)) and q = (1-p)/(d-1).
+func TestUnbiasedSumGRR(t *testing.T) {
+	grr, _ := NewGRR(15, 0.7)
+	r := rng.New(11)
+	counts := make([]int64, 15)
+	for i := range counts {
+		counts[i] = int64(50 * (i + 1))
+	}
+	sim, err := grr.SimulateGenuineCounts(r, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	fs, err := Unbias(sim, n, grr.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := stats.Sum(fs); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("GRR estimates sum to %v", s)
+	}
+}
+
+func TestEstimateFrequenciesPipeline(t *testing.T) {
+	const d, eps = 8, 1.2
+	oue, _ := NewOUE(d, eps)
+	r := rng.New(21)
+	trueCounts := []int64{4000, 2000, 1000, 500, 250, 125, 75, 50}
+	var n int64
+	for _, c := range trueCounts {
+		n += c
+	}
+	reports, err := PerturbAll(oue, r, trueCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(reports)) != n {
+		t.Fatalf("reports %d want %d", len(reports), n)
+	}
+	fs, err := EstimateFrequencies(reports, oue.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range trueCounts {
+		want := float64(c) / float64(n)
+		sd := math.Sqrt(oue.Variance(want, n)) / float64(n)
+		if math.Abs(fs[v]-want) > 6*sd {
+			t.Fatalf("item %d: estimate %v want %v ± %v", v, fs[v], want, 6*sd)
+		}
+	}
+}
+
+func TestPerturbAllValidation(t *testing.T) {
+	grr, _ := NewGRR(5, 0.5)
+	r := rng.New(1)
+	if _, err := PerturbAll(grr, nil, make([]int64, 5)); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := PerturbAll(grr, r, make([]int64, 3)); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := PerturbAll(grr, r, []int64{1, -1, 0, 0, 0}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+// TestEmpiricalVarianceMatchesFormula estimates the variance of the
+// count estimator over repeated trials and compares with Protocol.Variance.
+func TestEmpiricalVarianceMatchesFormula(t *testing.T) {
+	const d, eps = 10, 0.9
+	trueCounts := make([]int64, d)
+	trueCounts[0] = 200 // sparse: most items have zero frequency
+	var n int64
+	for _, c := range trueCounts {
+		n += c
+	}
+	n += 0
+	// Fill remaining users on item 1 to get a realistic n.
+	trueCounts[1] = 1800
+	n = 2000
+	r := rng.New(31)
+	for _, p := range testProtocols(t, d, eps) {
+		const trials = 400
+		est := make([]float64, trials)
+		item := 5 // zero-frequency item: Eq. 4/7/10 at f=0
+		for trial := 0; trial < trials; trial++ {
+			counts, err := p.SimulateGenuineCounts(r, trueCounts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr := p.Params()
+			est[trial] = (float64(counts[item]) - float64(n)*pr.Q) / (pr.P - pr.Q)
+		}
+		want := p.Variance(0, n)
+		got := stats.SampleVariance(est)
+		if got < want*0.7 || got > want*1.4 {
+			t.Fatalf("%s: empirical count variance %v want %v", p.Name(), got, want)
+		}
+	}
+}

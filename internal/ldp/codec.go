@@ -1,0 +1,126 @@
+package ldp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire format for reports, so clients and servers written against this
+// library can exchange perturbed data. Layout (little endian):
+//
+//	byte 0:   format version (currently 1)
+//	byte 1:   protocol tag (GRR=1, unary=2, OLH=3)
+//	payload:  tag-specific fixed-width fields
+//
+// GRR:   uint32 value
+// unary: uint32 bit count, then ceil(n/64) uint64 words (OUE and SUE)
+// OLH:   uint64 seed, uint32 value, uint32 g
+const (
+	codecVersion = 1
+
+	tagGRR   = 1
+	tagUnary = 2
+	tagOLH   = 3
+)
+
+// ErrCodec wraps all report (de)serialization failures.
+var ErrCodec = errors.New("ldp: report codec")
+
+// MarshalReport serializes a report to its wire format.
+func MarshalReport(rep Report) ([]byte, error) {
+	switch r := rep.(type) {
+	case GRRReport:
+		if r < 0 || int64(r) > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: GRR value %d out of range", ErrCodec, int(r))
+		}
+		buf := make([]byte, 2+4)
+		buf[0], buf[1] = codecVersion, tagGRR
+		binary.LittleEndian.PutUint32(buf[2:], uint32(r))
+		return buf, nil
+	case OUEReport:
+		if r.Bits == nil {
+			return nil, fmt.Errorf("%w: nil unary bitset", ErrCodec)
+		}
+		n := r.Bits.Len()
+		words := (n + 63) / 64
+		buf := make([]byte, 2+4+8*words)
+		buf[0], buf[1] = codecVersion, tagUnary
+		binary.LittleEndian.PutUint32(buf[2:], uint32(n))
+		for w := 0; w < words; w++ {
+			binary.LittleEndian.PutUint64(buf[6+8*w:], r.Bits.words[w])
+		}
+		return buf, nil
+	case OLHReport:
+		if r.G < 2 || r.Value < 0 || r.Value >= r.G {
+			return nil, fmt.Errorf("%w: invalid OLH report g=%d value=%d", ErrCodec, r.G, r.Value)
+		}
+		buf := make([]byte, 2+8+4+4)
+		buf[0], buf[1] = codecVersion, tagOLH
+		binary.LittleEndian.PutUint64(buf[2:], r.Seed)
+		binary.LittleEndian.PutUint32(buf[10:], uint32(r.Value))
+		binary.LittleEndian.PutUint32(buf[14:], uint32(r.G))
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("%w: unsupported report type %T", ErrCodec, rep)
+	}
+}
+
+// UnmarshalReport parses a wire-format report. It validates structure
+// (version, tag, lengths, field ranges) but cannot validate domain
+// membership — callers aggregate against their own domain size.
+func UnmarshalReport(data []byte) (Report, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("%w: short buffer (%d bytes)", ErrCodec, len(data))
+	}
+	if data[0] != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCodec, data[0])
+	}
+	payload := data[2:]
+	switch data[1] {
+	case tagGRR:
+		if len(payload) != 4 {
+			return nil, fmt.Errorf("%w: GRR payload %d bytes, want 4", ErrCodec, len(payload))
+		}
+		return GRRReport(binary.LittleEndian.Uint32(payload)), nil
+	case tagUnary:
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("%w: unary payload too short", ErrCodec)
+		}
+		n := int(binary.LittleEndian.Uint32(payload))
+		const maxBits = 1 << 26 // 64 Mbit cap guards against corrupt lengths
+		if n <= 0 || n > maxBits {
+			return nil, fmt.Errorf("%w: unary bit count %d out of range", ErrCodec, n)
+		}
+		words := (n + 63) / 64
+		if len(payload) != 4+8*words {
+			return nil, fmt.Errorf("%w: unary payload %d bytes, want %d", ErrCodec, len(payload), 4+8*words)
+		}
+		bits := NewBitset(n)
+		for w := 0; w < words; w++ {
+			bits.words[w] = binary.LittleEndian.Uint64(payload[4+8*w:])
+		}
+		// Reject set bits beyond the declared length (would corrupt
+		// Count and aggregation).
+		if tail := n % 64; tail != 0 {
+			if bits.words[words-1]>>uint(tail) != 0 {
+				return nil, fmt.Errorf("%w: unary report has bits beyond length %d", ErrCodec, n)
+			}
+		}
+		return OUEReport{Bits: bits}, nil
+	case tagOLH:
+		if len(payload) != 16 {
+			return nil, fmt.Errorf("%w: OLH payload %d bytes, want 16", ErrCodec, len(payload))
+		}
+		seed := binary.LittleEndian.Uint64(payload)
+		value := int(binary.LittleEndian.Uint32(payload[8:]))
+		g := int(binary.LittleEndian.Uint32(payload[12:]))
+		if g < 2 || value < 0 || value >= g {
+			return nil, fmt.Errorf("%w: invalid OLH fields g=%d value=%d", ErrCodec, g, value)
+		}
+		return OLHReport{Seed: seed, Value: value, G: g}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown tag %d", ErrCodec, data[1])
+	}
+}

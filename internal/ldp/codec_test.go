@@ -1,0 +1,227 @@
+package ldp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ldprecover/internal/rng"
+)
+
+func TestCodecRoundTripGRR(t *testing.T) {
+	in := GRRReport(42)
+	buf, err := MarshalReport(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalReport(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(GRRReport); got != in {
+		t.Fatalf("round trip %v -> %v", in, got)
+	}
+}
+
+func TestCodecRoundTripUnary(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 130, 490} {
+		bits := NewBitset(n)
+		bits.Set(0)
+		if n > 5 {
+			bits.Set(5)
+		}
+		bits.Set(n - 1)
+		in := OUEReport{Bits: bits}
+		buf, err := MarshalReport(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := UnmarshalReport(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out.(OUEReport)
+		if got.Bits.Len() != n || got.Bits.Count() != bits.Count() {
+			t.Fatalf("n=%d: round trip lost bits", n)
+		}
+		for v := 0; v < n; v++ {
+			if got.Bits.Get(v) != bits.Get(v) {
+				t.Fatalf("n=%d: bit %d mismatch", n, v)
+			}
+		}
+	}
+}
+
+func TestCodecRoundTripOLH(t *testing.T) {
+	in := OLHReport{Seed: 0xdeadbeefcafef00d, Value: 2, G: 3}
+	buf, err := MarshalReport(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalReport(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(OLHReport); got != in {
+		t.Fatalf("round trip %+v -> %+v", in, got)
+	}
+}
+
+func TestCodecMarshalValidation(t *testing.T) {
+	if _, err := MarshalReport(GRRReport(-1)); err == nil {
+		t.Fatal("negative GRR accepted")
+	}
+	if _, err := MarshalReport(OUEReport{}); err == nil {
+		t.Fatal("nil bitset accepted")
+	}
+	if _, err := MarshalReport(OLHReport{Seed: 1, Value: 5, G: 3}); err == nil {
+		t.Fatal("value >= g accepted")
+	}
+	if _, err := MarshalReport(nil); err == nil {
+		t.Fatal("nil report accepted")
+	}
+}
+
+func TestCodecUnmarshalValidation(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1},                       // short
+		{9, tagGRR, 0, 0, 0, 0},   // bad version
+		{1, 99, 0, 0, 0, 0},       // unknown tag
+		{1, tagGRR, 0, 0},         // short GRR payload
+		{1, tagUnary, 0, 0},       // short unary payload
+		{1, tagUnary, 0, 0, 0, 0}, // zero bit count
+		{1, tagOLH, 0, 0, 0},      // short OLH payload
+	}
+	for i, buf := range cases {
+		if _, err := UnmarshalReport(buf); err == nil {
+			t.Fatalf("case %d: corrupt buffer accepted", i)
+		}
+	}
+	// Unary with stray bits beyond the declared length.
+	bits := NewBitset(65)
+	bits.Set(64)
+	good, err := MarshalReport(OUEReport{Bits: bits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] |= 0x80 // set a bit past position 64
+	if _, err := UnmarshalReport(bad); err == nil {
+		t.Fatal("stray high bits accepted")
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, pick uint8) bool {
+		r := rng.New(seed)
+		var in Report
+		switch pick % 3 {
+		case 0:
+			in = GRRReport(r.Intn(1 << 20))
+		case 1:
+			n := r.Intn(300) + 1
+			bits := NewBitset(n)
+			for i := 0; i < n; i++ {
+				if r.Bernoulli(0.3) {
+					bits.Set(i)
+				}
+			}
+			in = OUEReport{Bits: bits}
+		default:
+			g := r.Intn(14) + 2
+			in = OLHReport{Seed: r.Uint64(), Value: r.Intn(g), G: g}
+		}
+		buf, err := MarshalReport(in)
+		if err != nil {
+			return false
+		}
+		out, err := UnmarshalReport(buf)
+		if err != nil {
+			return false
+		}
+		// Supports must agree over a generous probe range.
+		for v := 0; v < 64; v++ {
+			if in.Supports(v) != out.Supports(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCodecThroughAggregation shuttles a whole population across the
+// wire and checks the estimates are unchanged.
+func TestCodecThroughAggregation(t *testing.T) {
+	const d, eps = 12, 0.8
+	oue, _ := NewOUE(d, eps)
+	r := rng.New(9)
+	counts := make([]int64, d)
+	for i := range counts {
+		counts[i] = 200
+	}
+	reports, err := PerturbAll(oue, r, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := EstimateFrequencies(reports, oue.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := make([]Report, len(reports))
+	for i, rep := range reports {
+		buf, err := MarshalReport(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire[i], err = UnmarshalReport(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	viaWire, err := EstimateFrequencies(wire, oue.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range direct {
+		if direct[v] != viaWire[v] {
+			t.Fatalf("estimates diverged at %d: %v vs %v", v, direct[v], viaWire[v])
+		}
+	}
+}
+
+func FuzzUnmarshalReport(f *testing.F) {
+	// Seed with valid encodings of each type plus junk.
+	grr, _ := MarshalReport(GRRReport(7))
+	f.Add(grr)
+	bits := NewBitset(70)
+	bits.Set(3)
+	unary, _ := MarshalReport(OUEReport{Bits: bits})
+	f.Add(unary)
+	olh, _ := MarshalReport(OLHReport{Seed: 99, Value: 1, G: 3})
+	f.Add(olh)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := UnmarshalReport(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted reports must be internally consistent.
+		buf, err := MarshalReport(rep)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted report failed: %v", err)
+		}
+		back, err := UnmarshalReport(buf)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		for v := 0; v < 16; v++ {
+			if rep.Supports(v) != back.Supports(v) {
+				t.Fatal("support set changed across round trip")
+			}
+		}
+	})
+}

@@ -1,0 +1,33 @@
+package ldp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ldprecover/internal/stats"
+)
+
+// ConfidenceInterval returns the two-sided (1-alpha) confidence interval
+// for an item's estimated frequency, using the protocol's theoretical
+// count variance (Eq. 4/7/10) under the CLT. f is the estimated
+// frequency (plugged into the f-dependent variance term), n the number of
+// reports aggregated. The interval is not clipped to [0,1]: unbiased LDP
+// estimates legitimately stray outside, and callers comparing against the
+// interval need its true width.
+func ConfidenceInterval(p Protocol, f float64, n int64, alpha float64) (lo, hi float64, err error) {
+	if p == nil {
+		return 0, 0, errors.New("ldp: nil protocol")
+	}
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("ldp: invalid report count %d", n)
+	}
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return 0, 0, fmt.Errorf("ldp: alpha %v outside (0,1)", alpha)
+	}
+	fClamped := math.Min(math.Max(f, 0), 1)
+	z := stats.NormalQuantile(1-alpha/2, 0, 1)
+	// Count variance -> frequency standard deviation.
+	sigma := math.Sqrt(math.Max(p.Variance(fClamped, n), 0)) / float64(n)
+	return f - z*sigma, f + z*sigma, nil
+}

@@ -1,0 +1,75 @@
+package ldp
+
+import (
+	"testing"
+
+	"ldprecover/internal/rng"
+)
+
+func TestConfidenceIntervalValidation(t *testing.T) {
+	oue, _ := NewOUE(10, 0.5)
+	if _, _, err := ConfidenceInterval(nil, 0.1, 100, 0.05); err == nil {
+		t.Fatal("nil protocol accepted")
+	}
+	if _, _, err := ConfidenceInterval(oue, 0.1, 0, 0.05); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, _, err := ConfidenceInterval(oue, 0.1, 100, 0); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	if _, _, err := ConfidenceInterval(oue, 0.1, 100, 1.5); err == nil {
+		t.Fatal("alpha>1 accepted")
+	}
+}
+
+func TestConfidenceIntervalShrinksWithN(t *testing.T) {
+	oue, _ := NewOUE(10, 0.5)
+	lo1, hi1, err := ConfidenceInterval(oue, 0.1, 1000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := ConfidenceInterval(oue, 0.1, 100000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi1-lo1 <= hi2-lo2 {
+		t.Fatalf("interval did not shrink: %v vs %v", hi1-lo1, hi2-lo2)
+	}
+	if lo1 >= 0.1 || hi1 <= 0.1 {
+		t.Fatalf("interval [%v,%v] does not bracket the estimate", lo1, hi1)
+	}
+}
+
+// TestConfidenceIntervalCoverage: empirical coverage of the 95% CI must
+// be close to 95%.
+func TestConfidenceIntervalCoverage(t *testing.T) {
+	const d, eps = 10, 0.9
+	const n = int64(5000)
+	const trueF = 0.2
+	oue, _ := NewOUE(d, eps)
+	pr := oue.Params()
+	r := rng.New(13)
+	trueCounts := make([]int64, d)
+	trueCounts[0] = int64(trueF * float64(n))
+	trueCounts[1] = n - trueCounts[0]
+	const trials = 2000
+	covered := 0
+	for i := 0; i < trials; i++ {
+		counts, err := oue.SimulateGenuineCounts(r, trueCounts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := (float64(counts[0]) - float64(n)*pr.Q) / (float64(n) * (pr.P - pr.Q))
+		lo, hi, err := ConfidenceInterval(oue, est, n, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trueF >= lo && trueF <= hi {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.92 || rate > 0.98 {
+		t.Fatalf("95%% CI empirical coverage %v", rate)
+	}
+}

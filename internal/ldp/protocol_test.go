@@ -1,0 +1,416 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/rng"
+)
+
+// protocols under test, constructed fresh per test.
+func testProtocols(t *testing.T, d int, eps float64) []Protocol {
+	t.Helper()
+	grr, err := NewGRR(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oue, err := NewOUE(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	olh, err := NewOLH(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Protocol{grr, oue, olh}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewGRR(1, 0.5); err == nil {
+		t.Fatal("GRR d=1 accepted")
+	}
+	if _, err := NewGRR(10, 0); err == nil {
+		t.Fatal("GRR eps=0 accepted")
+	}
+	if _, err := NewGRR(10, math.NaN()); err == nil {
+		t.Fatal("GRR eps=NaN accepted")
+	}
+	if _, err := NewOUE(10, -1); err == nil {
+		t.Fatal("OUE negative eps accepted")
+	}
+	if _, err := NewOLH(10, math.Inf(1)); err == nil {
+		t.Fatal("OLH eps=Inf accepted")
+	}
+	if _, err := NewOLHWithG(10, 0.5, 1); err == nil {
+		t.Fatal("OLH g=1 accepted")
+	}
+}
+
+func TestParamsMatchPaperFormulas(t *testing.T) {
+	const d, eps = 102, 0.5
+	expE := math.Exp(eps)
+
+	grr, _ := NewGRR(d, eps)
+	pr := grr.Params()
+	if !almostEq(pr.P, expE/(float64(d)-1+expE), 1e-12) {
+		t.Fatalf("GRR p = %v", pr.P)
+	}
+	if !almostEq(pr.Q, 1/(float64(d)-1+expE), 1e-12) {
+		t.Fatalf("GRR q = %v", pr.Q)
+	}
+	if !almostEq(pr.P/pr.Q, expE, 1e-9) {
+		t.Fatalf("GRR p/q = %v want e^eps", pr.P/pr.Q)
+	}
+
+	oue, _ := NewOUE(d, eps)
+	pr = oue.Params()
+	if pr.P != 0.5 || !almostEq(pr.Q, 1/(expE+1), 1e-12) {
+		t.Fatalf("OUE p=%v q=%v", pr.P, pr.Q)
+	}
+	// OUE's per-bit mechanism satisfies eps-LDP: p(1-q)/(q(1-p)) = e^eps.
+	ratio := pr.P * (1 - pr.Q) / (pr.Q * (1 - pr.P))
+	if !almostEq(ratio, expE, 1e-9) {
+		t.Fatalf("OUE odds ratio %v want %v", ratio, expE)
+	}
+
+	olh, _ := NewOLH(d, eps)
+	pr = olh.Params()
+	wantG := int(math.Ceil(expE + 1)) // = 3 for eps=0.5
+	if olh.G() != wantG || wantG != 3 {
+		t.Fatalf("OLH g = %d want %d", olh.G(), wantG)
+	}
+	if !almostEq(pr.P, expE/(expE+float64(wantG)-1), 1e-12) {
+		t.Fatalf("OLH p = %v", pr.P)
+	}
+	if !almostEq(pr.Q, 1/float64(wantG), 1e-12) {
+		t.Fatalf("OLH q = %v", pr.Q)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{Epsilon: 0.5, Domain: 1, P: 0.5, Q: 0.1},
+		{Epsilon: 0, Domain: 10, P: 0.5, Q: 0.1},
+		{Epsilon: 0.5, Domain: 10, P: 0.1, Q: 0.5}, // p <= q
+		{Epsilon: 0.5, Domain: 10, P: 1.5, Q: 0.1},
+		{Epsilon: 0.5, Domain: 10, P: 0.5, Q: -0.1},
+	}
+	for i, pr := range bad {
+		if err := pr.Validate(); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, pr)
+		}
+	}
+}
+
+func TestPerturbRejectsBadInput(t *testing.T) {
+	r := rng.New(1)
+	for _, p := range testProtocols(t, 10, 0.5) {
+		if _, err := p.Perturb(r, -1); err == nil {
+			t.Fatalf("%s accepted item -1", p.Name())
+		}
+		if _, err := p.Perturb(r, 10); err == nil {
+			t.Fatalf("%s accepted item d", p.Name())
+		}
+		if _, err := p.Perturb(nil, 0); err == nil {
+			t.Fatalf("%s accepted nil rng", p.Name())
+		}
+	}
+}
+
+// TestPerturbSupportProbabilities verifies the defining property of pure
+// LDP protocols: a report supports the true item with probability p and
+// any other given item with probability q.
+func TestPerturbSupportProbabilities(t *testing.T) {
+	const d, eps, trials = 20, 0.8, 60000
+	r := rng.New(42)
+	for _, p := range testProtocols(t, d, eps) {
+		pr := p.Params()
+		trueItem, otherItem := 3, 11
+		supTrue, supOther := 0, 0
+		for i := 0; i < trials; i++ {
+			rep, err := p.Perturb(r, trueItem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Supports(trueItem) {
+				supTrue++
+			}
+			if rep.Supports(otherItem) {
+				supOther++
+			}
+		}
+		gotP := float64(supTrue) / trials
+		gotQ := float64(supOther) / trials
+		// 5-sigma binomial tolerance.
+		tolP := 5 * math.Sqrt(pr.P*(1-pr.P)/trials)
+		tolQ := 5 * math.Sqrt(pr.Q*(1-pr.Q)/trials)
+		if math.Abs(gotP-pr.P) > tolP {
+			t.Fatalf("%s: empirical p %v want %v ± %v", p.Name(), gotP, pr.P, tolP)
+		}
+		if math.Abs(gotQ-pr.Q) > tolQ {
+			t.Fatalf("%s: empirical q %v want %v ± %v", p.Name(), gotQ, pr.Q, tolQ)
+		}
+	}
+}
+
+// TestGRRLDPRatio empirically verifies the eps-LDP inequality for GRR:
+// outputs' probabilities under two different inputs differ by <= e^eps.
+func TestGRRLDPRatio(t *testing.T) {
+	const d, eps, trials = 8, 0.7, 400000
+	grr, _ := NewGRR(d, eps)
+	r := rng.New(7)
+	countsFromA := make([]float64, d)
+	countsFromB := make([]float64, d)
+	for i := 0; i < trials; i++ {
+		ra, err := grr.Perturb(r, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		countsFromA[int(ra.(GRRReport))]++
+		rb, err := grr.Perturb(r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		countsFromB[int(rb.(GRRReport))]++
+	}
+	expE := math.Exp(eps)
+	for out := 0; out < d; out++ {
+		pa := (countsFromA[out] + 1) / (trials + float64(d))
+		pb := (countsFromB[out] + 1) / (trials + float64(d))
+		ratio := pa / pb
+		if ratio > expE*1.1 || ratio < 1/(expE*1.1) {
+			t.Fatalf("output %d: ratio %v violates e^eps=%v", out, ratio, expE)
+		}
+	}
+}
+
+func TestCraftSupportAlwaysSupports(t *testing.T) {
+	r := rng.New(3)
+	for _, p := range testProtocols(t, 30, 0.5) {
+		for v := 0; v < 30; v++ {
+			rep, err := p.CraftSupport(r, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Supports(v) {
+				t.Fatalf("%s: crafted report does not support %d", p.Name(), v)
+			}
+		}
+		if _, err := p.CraftSupport(r, 30); err == nil {
+			t.Fatalf("%s: crafted out-of-domain item", p.Name())
+		}
+	}
+}
+
+func TestCraftSupportMinimalForGRROUE(t *testing.T) {
+	r := rng.New(4)
+	grr, _ := NewGRR(10, 0.5)
+	rep, _ := grr.CraftSupport(r, 5)
+	for v := 0; v < 10; v++ {
+		if rep.Supports(v) != (v == 5) {
+			t.Fatal("GRR crafted support not singleton")
+		}
+	}
+	oue, _ := NewOUE(10, 0.5)
+	rep, _ = oue.CraftSupport(r, 5)
+	for v := 0; v < 10; v++ {
+		if rep.Supports(v) != (v == 5) {
+			t.Fatal("OUE crafted support not singleton")
+		}
+	}
+}
+
+func TestOLHCraftSupportCollisionRate(t *testing.T) {
+	// Non-target items must be supported at rate ~1/g.
+	olh, _ := NewOLH(50, 0.5)
+	r := rng.New(5)
+	const trials = 20000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		rep, err := olh.CraftSupport(r, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Supports(23) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	want := 1 / float64(olh.G())
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("collision rate %v want %v", got, want)
+	}
+}
+
+func TestVarianceFormulas(t *testing.T) {
+	const d, eps = 102, 0.5
+	const n = int64(389894)
+	expE := math.Exp(eps)
+
+	grr, _ := NewGRR(d, eps)
+	// Eq. 4 at f=0: n*(d-2+e^eps)/(e^eps-1)^2.
+	want := float64(n) * (float64(d) - 2 + expE) / ((expE - 1) * (expE - 1))
+	if got := grr.Variance(0, n); !almostEq(got, want, 1e-6*want) {
+		t.Fatalf("GRR var %v want %v", got, want)
+	}
+	// f-dependent term increases variance.
+	if grr.Variance(0.5, n) <= grr.Variance(0, n) {
+		t.Fatal("GRR variance not increasing in f")
+	}
+
+	oue, _ := NewOUE(d, eps)
+	want = float64(n) * 4 * expE / ((expE - 1) * (expE - 1))
+	if got := oue.Variance(0.3, n); !almostEq(got, want, 1e-6*want) {
+		t.Fatalf("OUE var %v want %v", got, want)
+	}
+
+	olh, _ := NewOLH(d, eps)
+	if got := olh.Variance(0.3, n); !almostEq(got, want, 1e-6*want) {
+		t.Fatalf("OLH var %v want %v", got, want)
+	}
+
+	// Sanity against the paper's Table I "Before-Rec" scale: frequency
+	// variance = count variance / n^2; for OUE at eps=0.5, n=389894 it is
+	// ~4e-5 (paper reports MSE 3.81e-5 on IPUMS).
+	fvar := oue.Variance(0, n) / float64(n) / float64(n)
+	if fvar < 2e-5 || fvar > 8e-5 {
+		t.Fatalf("OUE frequency variance %v outside the paper's scale", fvar)
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestEstimatorUnbiasedReportLevel runs the full report-level pipeline and
+// checks the estimates are unbiased within CLT tolerance.
+func TestEstimatorUnbiasedReportLevel(t *testing.T) {
+	const d, eps = 12, 1.0
+	counts := []int64{500, 400, 300, 200, 100, 90, 80, 70, 60, 50, 30, 20}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	trueF := make([]float64, d)
+	for v, c := range counts {
+		trueF[v] = float64(c) / float64(n)
+	}
+	r := rng.New(99)
+	for _, p := range testProtocols(t, d, eps) {
+		const trials = 60
+		sums := make([]float64, d)
+		for trial := 0; trial < trials; trial++ {
+			reports, err := PerturbAll(p, r, counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, err := EstimateFrequencies(reports, p.Params())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range fs {
+				sums[v] += fs[v]
+			}
+		}
+		for v := range sums {
+			got := sums[v] / trials
+			// Tolerance: 5 standard errors of the mean estimate.
+			se := math.Sqrt(p.Variance(trueF[v], n)) / float64(n) / math.Sqrt(trials)
+			if math.Abs(got-trueF[v]) > 5*se+1e-9 {
+				t.Fatalf("%s: item %d biased: got %v want %v (se %v)",
+					p.Name(), v, got, trueF[v], se)
+			}
+		}
+	}
+}
+
+// TestFastSimulationAgreesWithReportLevel compares the mean and spread of
+// the fast count-level simulator against the exact report-level pipeline.
+func TestFastSimulationAgreesWithReportLevel(t *testing.T) {
+	const d, eps = 10, 0.8
+	counts := []int64{400, 350, 300, 250, 200, 150, 100, 80, 60, 40}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	r := rng.New(123)
+	for _, p := range testProtocols(t, d, eps) {
+		const trials = 80
+		fastMean := make([]float64, d)
+		exactMean := make([]float64, d)
+		for trial := 0; trial < trials; trial++ {
+			fast, err := p.SimulateGenuineCounts(r, counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports, err := PerturbAll(p, r, counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := CountSupports(reports, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < d; v++ {
+				fastMean[v] += float64(fast[v])
+				exactMean[v] += float64(exact[v])
+			}
+		}
+		for v := 0; v < d; v++ {
+			fm := fastMean[v] / trials
+			em := exactMean[v] / trials
+			// Both estimate E[C(v)]; allow 6 standard errors.
+			sd := math.Sqrt(float64(n) * 0.25) // loose upper bound on sd(C(v))
+			tol := 6 * sd / math.Sqrt(trials)
+			if math.Abs(fm-em) > tol {
+				t.Fatalf("%s: item %d fast %v exact %v (tol %v)", p.Name(), v, fm, em, tol)
+			}
+		}
+	}
+}
+
+// TestSimulateGenuineCountsConservation: GRR's support counts must sum to
+// exactly n (each report supports exactly one item).
+func TestSimulateGenuineCountsConservationGRR(t *testing.T) {
+	grr, _ := NewGRR(25, 0.5)
+	r := rng.New(6)
+	counts := make([]int64, 25)
+	for i := range counts {
+		counts[i] = int64(100 + i)
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	for trial := 0; trial < 50; trial++ {
+		sim, err := grr.SimulateGenuineCounts(r, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, c := range sim {
+			if c < 0 {
+				t.Fatal("negative support count")
+			}
+			total += c
+		}
+		if total != n {
+			t.Fatalf("GRR support counts sum %d want %d", total, n)
+		}
+	}
+}
+
+func TestSimulateGenuineCountsValidation(t *testing.T) {
+	r := rng.New(1)
+	for _, p := range testProtocols(t, 10, 0.5) {
+		if _, err := p.SimulateGenuineCounts(r, make([]int64, 5)); err == nil {
+			t.Fatalf("%s accepted wrong-length counts", p.Name())
+		}
+		if _, err := p.SimulateGenuineCounts(nil, make([]int64, 10)); err == nil {
+			t.Fatalf("%s accepted nil rng", p.Name())
+		}
+		bad := make([]int64, 10)
+		bad[3] = -1
+		if _, err := p.SimulateGenuineCounts(r, bad); err == nil {
+			t.Fatalf("%s accepted negative count", p.Name())
+		}
+	}
+}

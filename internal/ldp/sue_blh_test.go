@@ -1,0 +1,207 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/rng"
+	"ldprecover/internal/stats"
+)
+
+func TestSUEParams(t *testing.T) {
+	const d, eps = 50, 0.5
+	s, err := NewSUE(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := math.Exp(eps / 2)
+	pr := s.Params()
+	if !almostEq(pr.P, half/(half+1), 1e-12) || !almostEq(pr.Q, 1/(half+1), 1e-12) {
+		t.Fatalf("SUE p=%v q=%v", pr.P, pr.Q)
+	}
+	// Symmetric RR per bit: p/(1-p) = e^{eps/2} and p+q = 1.
+	if !almostEq(pr.P+pr.Q, 1, 1e-12) {
+		t.Fatalf("SUE p+q = %v", pr.P+pr.Q)
+	}
+	if s.Name() != "SUE" {
+		t.Fatalf("name %q", s.Name())
+	}
+	if _, err := NewSUE(1, 0.5); err == nil {
+		t.Fatal("d=1 accepted")
+	}
+	if _, err := NewSUE(10, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+}
+
+func TestBLHParams(t *testing.T) {
+	const d, eps = 50, 0.5
+	b, err := NewBLH(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expE := math.Exp(eps)
+	pr := b.Params()
+	if !almostEq(pr.P, expE/(expE+1), 1e-12) || pr.Q != 0.5 {
+		t.Fatalf("BLH p=%v q=%v", pr.P, pr.Q)
+	}
+	if b.Name() != "BLH" || b.G() != 2 {
+		t.Fatalf("name %q g %d", b.Name(), b.G())
+	}
+	// Plain OLH must still be named OLH.
+	o, _ := NewOLH(d, eps)
+	if o.Name() != "OLH" {
+		t.Fatalf("OLH name %q", o.Name())
+	}
+}
+
+// TestSUEBLHSupportProbabilities checks the defining pure-LDP property
+// for the two extra protocols.
+func TestSUEBLHSupportProbabilities(t *testing.T) {
+	const d, eps, trials = 20, 0.8, 60000
+	r := rng.New(7)
+	sue, _ := NewSUE(d, eps)
+	blh, _ := NewBLH(d, eps)
+	for _, p := range []Protocol{sue, blh} {
+		pr := p.Params()
+		supTrue, supOther := 0, 0
+		for i := 0; i < trials; i++ {
+			rep, err := p.Perturb(r, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Supports(3) {
+				supTrue++
+			}
+			if rep.Supports(11) {
+				supOther++
+			}
+		}
+		gotP := float64(supTrue) / trials
+		gotQ := float64(supOther) / trials
+		if math.Abs(gotP-pr.P) > 5*math.Sqrt(pr.P*(1-pr.P)/trials) {
+			t.Fatalf("%s: empirical p %v want %v", p.Name(), gotP, pr.P)
+		}
+		if math.Abs(gotQ-pr.Q) > 5*math.Sqrt(pr.Q*(1-pr.Q)/trials) {
+			t.Fatalf("%s: empirical q %v want %v", p.Name(), gotQ, pr.Q)
+		}
+	}
+}
+
+// TestSUEBLHUnbiasedEstimates runs both extra protocols through the full
+// pipeline and checks unbiasedness.
+func TestSUEBLHUnbiasedEstimates(t *testing.T) {
+	const d, eps = 10, 1.0
+	trueCounts := []int64{3000, 2000, 1500, 1000, 800, 600, 400, 300, 250, 150}
+	var n int64
+	for _, c := range trueCounts {
+		n += c
+	}
+	r := rng.New(8)
+	sue, _ := NewSUE(d, eps)
+	blh, _ := NewBLH(d, eps)
+	for _, p := range []Protocol{sue, blh} {
+		reports, err := PerturbAll(p, r, trueCounts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := EstimateFrequencies(reports, p.Params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v, c := range trueCounts {
+			want := float64(c) / float64(n)
+			sd := math.Sqrt(p.Variance(want, n)) / float64(n)
+			if math.Abs(fs[v]-want) > 6*sd {
+				t.Fatalf("%s item %d: estimate %v want %v ± %v", p.Name(), v, fs[v], want, 6*sd)
+			}
+		}
+	}
+}
+
+// TestSUEBLHFastSimAgrees compares fast and exact paths for the extra
+// protocols.
+func TestSUEBLHFastSimAgrees(t *testing.T) {
+	const d, eps = 8, 0.8
+	trueCounts := []int64{500, 400, 300, 200, 150, 100, 80, 70}
+	var n int64
+	for _, c := range trueCounts {
+		n += c
+	}
+	r := rng.New(9)
+	sue, _ := NewSUE(d, eps)
+	blh, _ := NewBLH(d, eps)
+	for _, p := range []Protocol{sue, blh} {
+		const trials = 60
+		fastMean := make([]float64, d)
+		exactMean := make([]float64, d)
+		for trial := 0; trial < trials; trial++ {
+			fast, err := p.SimulateGenuineCounts(r, trueCounts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports, err := PerturbAll(p, r, trueCounts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := CountSupports(reports, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < d; v++ {
+				fastMean[v] += float64(fast[v])
+				exactMean[v] += float64(exact[v])
+			}
+		}
+		for v := 0; v < d; v++ {
+			fm := fastMean[v] / trials
+			em := exactMean[v] / trials
+			tol := 6 * math.Sqrt(float64(n)*0.25) / math.Sqrt(trials)
+			if math.Abs(fm-em) > tol {
+				t.Fatalf("%s item %d: fast %v exact %v", p.Name(), v, fm, em)
+			}
+		}
+	}
+}
+
+// TestSUEVarianceEmpirical checks the SUE variance formula.
+func TestSUEVarianceEmpirical(t *testing.T) {
+	const d, eps = 10, 0.9
+	sue, _ := NewSUE(d, eps)
+	trueCounts := make([]int64, d)
+	trueCounts[0] = 2000
+	const n = int64(2000)
+	r := rng.New(10)
+	const trials = 400
+	est := make([]float64, trials)
+	pr := sue.Params()
+	for i := range est {
+		counts, err := sue.SimulateGenuineCounts(r, trueCounts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est[i] = (float64(counts[5]) - float64(n)*pr.Q) / (pr.P - pr.Q)
+	}
+	want := sue.Variance(0, n)
+	got := stats.SampleVariance(est)
+	if got < want*0.7 || got > want*1.4 {
+		t.Fatalf("SUE empirical variance %v want %v", got, want)
+	}
+}
+
+// TestSUECraftSupportSingleton verifies the adaptive-attack primitive.
+func TestSUECraftSupportSingleton(t *testing.T) {
+	sue, _ := NewSUE(10, 0.5)
+	rep, err := sue.CraftSupport(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		if rep.Supports(v) != (v == 4) {
+			t.Fatal("SUE crafted support not singleton")
+		}
+	}
+	if _, err := sue.CraftSupport(nil, 10); err == nil {
+		t.Fatal("out-of-domain accepted")
+	}
+}

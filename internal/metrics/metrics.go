@@ -1,0 +1,40 @@
+// Package metrics implements the paper's evaluation metrics (§VI-B):
+// mean squared error between frequency vectors (Eq. 36) and the frequency
+// gain of targeted attacks (Eq. 37).
+package metrics
+
+import (
+	"errors"
+	"fmt"
+
+	"ldprecover/internal/stats"
+)
+
+// MSE is the mean squared error between an estimate and a reference
+// vector: (1/d)·Σ_v (est_v - ref_v)² (Eq. 36).
+func MSE(estimate, reference []float64) (float64, error) {
+	return stats.MSE(estimate, reference)
+}
+
+// FrequencyGain is the total increase of the target items' frequencies in
+// estimate relative to the genuine estimate (Eq. 37, oriented so a
+// successful attack yields a positive gain):
+//
+//	FG = Σ_{t∈T} (estimate(t) - genuine(t))
+func FrequencyGain(estimate, genuine []float64, targets []int) (float64, error) {
+	if len(estimate) != len(genuine) {
+		return 0, fmt.Errorf("metrics: estimate length %d, genuine length %d",
+			len(estimate), len(genuine))
+	}
+	if len(targets) == 0 {
+		return 0, errors.New("metrics: frequency gain requires targets")
+	}
+	var fg float64
+	for _, t := range targets {
+		if t < 0 || t >= len(estimate) {
+			return 0, fmt.Errorf("metrics: target %d outside domain [0,%d)", t, len(estimate))
+		}
+		fg += estimate[t] - genuine[t]
+	}
+	return fg, nil
+}

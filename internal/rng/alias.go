@@ -1,0 +1,107 @@
+package rng
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Alias is a Vose alias table for O(1) sampling from a fixed discrete
+// distribution over {0, ..., n-1}. Construction is O(n).
+//
+// The zero value is not usable; build with NewAlias. An Alias is immutable
+// after construction and safe for concurrent Pick calls with distinct
+// generators.
+type Alias struct {
+	prob  []float64 // acceptance probability per column
+	alias []int32   // fallback outcome per column
+	n     int
+}
+
+// ErrEmptyDistribution is returned when the weight vector has no positive
+// mass.
+var ErrEmptyDistribution = errors.New("rng: distribution has no positive mass")
+
+// NewAlias builds an alias table from non-negative weights (they need not
+// be normalized). Negative, NaN or Inf weights are rejected.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrEmptyDistribution
+	}
+	var total float64
+	for i, w := range weights {
+		if w < 0 || w != w || w > 1e300 {
+			return nil, fmt.Errorf("rng: invalid weight %g at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, ErrEmptyDistribution
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		n:     n,
+	}
+	// Scaled probabilities: mean 1.
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		a.prob[l] = scaled[l]
+		a.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		a.prob[g] = 1
+		a.alias[g] = g
+	}
+	// Numerical drift can leave residues in small; they are ~1.
+	for _, l := range small {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	return a, nil
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return a.n }
+
+// Pick draws one outcome.
+func (a *Alias) Pick(r *Rand) int {
+	i := r.Intn(a.n)
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// PickMany draws k outcomes and returns their counts per outcome.
+func (a *Alias) PickMany(r *Rand, k int) []int64 {
+	counts := make([]int64, a.n)
+	for i := 0; i < k; i++ {
+		counts[a.Pick(r)]++
+	}
+	return counts
+}

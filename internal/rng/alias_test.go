@@ -1,0 +1,168 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAliasRejectsInvalid(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{},
+		{0, 0, 0},
+		{-1, 2},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for i, ws := range cases {
+		if _, err := NewAlias(ws); err == nil {
+			t.Fatalf("case %d: expected error for weights %v", i, ws)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if a.Pick(r) != 0 {
+			t.Fatal("single-outcome alias picked nonzero")
+		}
+	}
+}
+
+func TestAliasMatchesDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 0, 10}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	r := New(2)
+	const draws = 500000
+	counts := a.PickMany(r, draws)
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.005 {
+			t.Fatalf("outcome %d: empirical %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverPicked(t *testing.T) {
+	a, err := NewAlias([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		if a.Pick(r) == 1 {
+			t.Fatal("picked zero-weight outcome")
+		}
+	}
+}
+
+func TestAliasPickInRangeProperty(t *testing.T) {
+	f := func(seed uint64, sz uint8) bool {
+		n := int(sz%50) + 1
+		rr := New(seed)
+		ws := make([]float64, n)
+		for i := range ws {
+			ws[i] = rr.Float64() + 0.001
+		}
+		a, err := NewAlias(ws)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			v := a.Pick(rr)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return a.N() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfPMFValid(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 1.5, 2} {
+		pmf, err := ZipfPMF(100, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		prev := math.Inf(1)
+		for k, p := range pmf {
+			if p < 0 || p > 1 {
+				t.Fatalf("s=%v: pmf[%d]=%v out of range", s, k, p)
+			}
+			if p > prev+1e-15 {
+				t.Fatalf("s=%v: pmf not non-increasing at %d", s, k)
+			}
+			prev = p
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("s=%v: pmf sums to %v", s, sum)
+		}
+	}
+}
+
+func TestZipfPMFErrors(t *testing.T) {
+	if _, err := ZipfPMF(0, 1); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := ZipfPMF(10, -1); err == nil {
+		t.Fatal("negative exponent accepted")
+	}
+	if _, err := ZipfPMF(10, math.NaN()); err == nil {
+		t.Fatal("NaN exponent accepted")
+	}
+}
+
+func TestZipfSamplerSkew(t *testing.T) {
+	z, err := NewZipf(50, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(5)
+	counts := make([]int, 50)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Pick(r)]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[40] {
+		t.Fatalf("zipf sampler not skewed: c0=%d c10=%d c40=%d",
+			counts[0], counts[10], counts[40])
+	}
+	pmf := z.PMF()
+	got0 := float64(counts[0]) / draws
+	if math.Abs(got0-pmf[0]) > 0.01 {
+		t.Fatalf("rank-0 empirical %v want %v", got0, pmf[0])
+	}
+}
+
+func BenchmarkAliasPick(b *testing.B) {
+	ws := make([]float64, 1000)
+	rr := New(1)
+	for i := range ws {
+		ws[i] = rr.Float64()
+	}
+	a, _ := NewAlias(ws)
+	r := New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Pick(r)
+	}
+}

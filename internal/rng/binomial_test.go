@@ -1,0 +1,195 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialDegenerate(t *testing.T) {
+	r := New(1)
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0,.5) = %d", got)
+	}
+	if got := r.Binomial(100, 0); got != 0 {
+		t.Fatalf("Binomial(100,0) = %d", got)
+	}
+	if got := r.Binomial(100, 1); got != 100 {
+		t.Fatalf("Binomial(100,1) = %d", got)
+	}
+	if got := r.Binomial(-5, 0.5); got != 0 {
+		t.Fatalf("Binomial(-5,.5) = %d", got)
+	}
+}
+
+func TestBinomialRange(t *testing.T) {
+	r := New(2)
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{1, 0.5}, {10, 0.01}, {10, 0.99}, {1000, 0.3},
+		{100000, 0.001}, {1000000, 0.4}, {5, 0.5},
+	}
+	for _, c := range cases {
+		for i := 0; i < 500; i++ {
+			k := r.Binomial(c.n, c.p)
+			if k < 0 || k > c.n {
+				t.Fatalf("Binomial(%d,%v) = %d out of range", c.n, c.p, k)
+			}
+		}
+	}
+}
+
+// momentCheck verifies empirical mean and variance against the binomial's
+// theoretical values with tolerance scaled by the standard error.
+func momentCheck(t *testing.T, r *Rand, n int64, p float64, trials int) {
+	t.Helper()
+	mean := float64(n) * p
+	variance := mean * (1 - p)
+	var sum, sum2 float64
+	for i := 0; i < trials; i++ {
+		k := float64(r.Binomial(n, p))
+		sum += k
+		sum2 += k * k
+	}
+	em := sum / float64(trials)
+	ev := sum2/float64(trials) - em*em
+	seMean := math.Sqrt(variance / float64(trials))
+	if math.Abs(em-mean) > 6*seMean+1e-9 {
+		t.Fatalf("Binomial(%d,%v) mean %v want %v (±%v)", n, p, em, mean, 6*seMean)
+	}
+	if variance > 0 && math.Abs(ev-variance)/variance > 0.15 {
+		t.Fatalf("Binomial(%d,%v) variance %v want %v", n, p, ev, variance)
+	}
+}
+
+func TestBinomialMomentsSmall(t *testing.T) {
+	momentCheck(t, New(3), 20, 0.25, 50000)
+}
+
+func TestBinomialMomentsInversionRegime(t *testing.T) {
+	momentCheck(t, New(4), 500, 0.05, 30000)
+}
+
+func TestBinomialMomentsNormalRegime(t *testing.T) {
+	momentCheck(t, New(5), 400000, 0.4, 20000)
+}
+
+func TestBinomialMomentsHighP(t *testing.T) {
+	momentCheck(t, New(6), 1000, 0.9, 30000)
+}
+
+func TestBinomialExactDistributionSmall(t *testing.T) {
+	// Compare the full empirical pmf against the exact pmf for a small case
+	// that always uses the exact inversion path.
+	r := New(7)
+	const n, p, trials = 8, 0.3, 200000
+	counts := make([]float64, n+1)
+	for i := 0; i < trials; i++ {
+		counts[r.Binomial(n, p)]++
+	}
+	// Exact pmf.
+	pmf := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		pmf[k] = float64(binomCoeff(n, k)) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+	}
+	var chi2 float64
+	for k := 0; k <= n; k++ {
+		exp := pmf[k] * trials
+		if exp < 5 {
+			continue
+		}
+		d := counts[k] - exp
+		chi2 += d * d / exp
+	}
+	if chi2 > 40 { // ~8 dof, generous
+		t.Fatalf("binomial pmf chi2 = %v", chi2)
+	}
+}
+
+func binomCoeff(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	c := int64(1)
+	for i := 0; i < k; i++ {
+		c = c * int64(n-i) / int64(i+1)
+	}
+	return c
+}
+
+func TestMultinomialSumsToN(t *testing.T) {
+	r := New(8)
+	f := func(seed uint64, sizes uint16) bool {
+		rr := New(seed)
+		d := int(sizes%20) + 1
+		probs := make([]float64, d)
+		for i := range probs {
+			probs[i] = rr.Float64()
+		}
+		n := int64(rr.Intn(100000))
+		out := r.Multinomial(n, probs)
+		var sum int64
+		for _, c := range out {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultinomialZeroProbGetsZero(t *testing.T) {
+	r := New(9)
+	probs := []float64{0.5, 0, 0.5, 0}
+	out := r.Multinomial(10000, probs)
+	if out[1] != 0 || out[3] != 0 {
+		t.Fatalf("zero-probability cells got counts: %v", out)
+	}
+	if out[0]+out[2] != 10000 {
+		t.Fatalf("counts do not sum: %v", out)
+	}
+}
+
+func TestMultinomialProportions(t *testing.T) {
+	r := New(10)
+	probs := []float64{0.1, 0.2, 0.3, 0.4}
+	const n = 1000000
+	out := r.Multinomial(n, probs)
+	for i, p := range probs {
+		got := float64(out[i]) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Fatalf("cell %d proportion %v want %v", i, got, p)
+		}
+	}
+}
+
+func TestMultinomialEmptyAndZeroMass(t *testing.T) {
+	r := New(11)
+	if out := r.Multinomial(10, nil); len(out) != 0 {
+		t.Fatalf("nil probs gave %v", out)
+	}
+	out := r.Multinomial(10, []float64{0, 0})
+	if out[0] != 0 || out[1] != 0 {
+		t.Fatalf("zero-mass distribution gave %v", out)
+	}
+}
+
+func BenchmarkBinomialSmall(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Binomial(100, 0.1)
+	}
+}
+
+func BenchmarkBinomialLarge(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Binomial(500000, 0.4)
+	}
+}

@@ -1,0 +1,56 @@
+package rng
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ZipfPMF returns the probability mass function of a bounded Zipf
+// distribution over ranks 1..d: P(rank k) ∝ 1/k^s. s may be any
+// non-negative exponent (s=0 is uniform).
+func ZipfPMF(d int, s float64) ([]float64, error) {
+	if d <= 0 {
+		return nil, errors.New("rng: ZipfPMF requires d > 0")
+	}
+	if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("rng: ZipfPMF invalid exponent %g", s)
+	}
+	pmf := make([]float64, d)
+	var z float64
+	for k := 1; k <= d; k++ {
+		w := math.Pow(float64(k), -s)
+		pmf[k-1] = w
+		z += w
+	}
+	for i := range pmf {
+		pmf[i] /= z
+	}
+	return pmf, nil
+}
+
+// Zipf is a bounded Zipf sampler over {0, ..., d-1} built on an alias
+// table (O(1) per draw after O(d) setup).
+type Zipf struct {
+	alias *Alias
+	pmf   []float64
+}
+
+// NewZipf constructs a sampler for ranks 0..d-1 with exponent s.
+func NewZipf(d int, s float64) (*Zipf, error) {
+	pmf, err := ZipfPMF(d, s)
+	if err != nil {
+		return nil, err
+	}
+	a, err := NewAlias(pmf)
+	if err != nil {
+		return nil, err
+	}
+	return &Zipf{alias: a, pmf: pmf}, nil
+}
+
+// Pick draws one rank in [0, d).
+func (z *Zipf) Pick(r *Rand) int { return z.alias.Pick(r) }
+
+// PMF returns the underlying probability mass function (do not mutate).
+func (z *Zipf) PMF() []float64 { return z.pmf }

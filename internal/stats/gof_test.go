@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/rng"
+)
+
+func TestChiSquareStatPerfectFit(t *testing.T) {
+	obs := []float64{10, 20, 30}
+	stat, dof, err := ChiSquareStat(obs, obs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || dof != 2 {
+		t.Fatalf("stat=%v dof=%d", stat, dof)
+	}
+}
+
+func TestChiSquareStatKnown(t *testing.T) {
+	obs := []float64{48, 52}
+	exp := []float64{50, 50}
+	stat, dof, err := ChiSquareStat(obs, exp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(stat, 0.16, 1e-12) || dof != 1 {
+		t.Fatalf("stat=%v dof=%d", stat, dof)
+	}
+}
+
+func TestChiSquareStatPoolsSmallCells(t *testing.T) {
+	obs := []float64{100, 1, 1, 1, 1, 1}
+	exp := []float64{100, 1, 1, 1, 1, 1}
+	_, dof, err := ChiSquareStat(obs, exp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The five expected-1 cells pool into one (sum 5), so dof = 2-1 = 1.
+	if dof != 1 {
+		t.Fatalf("dof=%d want 1 after pooling", dof)
+	}
+}
+
+func TestChiSquareStatErrors(t *testing.T) {
+	if _, _, err := ChiSquareStat([]float64{1}, []float64{1, 2}, 5); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if _, _, err := ChiSquareStat(nil, nil, 5); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, _, err := ChiSquareStat([]float64{5}, []float64{5}, 5); err == nil {
+		t.Fatal("single cell accepted")
+	}
+}
+
+func TestChiSquareCDFKnown(t *testing.T) {
+	cases := []struct {
+		x    float64
+		k    int
+		want float64
+	}{
+		// chi2(1): P(X <= 3.841) ~= 0.95
+		{3.841458820694124, 1, 0.95},
+		// chi2(2) is Exp(1/2): P(X <= x) = 1-exp(-x/2)
+		{2, 2, 1 - math.Exp(-1)},
+		// chi2(10): median ~ 9.342
+		{9.341818, 10, 0.5},
+	}
+	for _, c := range cases {
+		if got := ChiSquareCDF(c.x, c.k); !almostEq(got, c.want, 1e-4) {
+			t.Fatalf("ChiSquareCDF(%v,%d) = %v want %v", c.x, c.k, got, c.want)
+		}
+	}
+	if ChiSquareCDF(-1, 3) != 0 || ChiSquareCDF(1, 0) != 0 {
+		t.Fatal("degenerate CDF not 0")
+	}
+}
+
+func TestChiSquareCDFMonotone(t *testing.T) {
+	prev := -1.0
+	for x := 0.1; x < 30; x += 0.5 {
+		c := ChiSquareCDF(x, 5)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		if c < 0 || c > 1 {
+			t.Fatalf("CDF out of range at %v: %v", x, c)
+		}
+		prev = c
+	}
+}
+
+func TestKSStatisticUniform(t *testing.T) {
+	// Sample from the RNG, test against U(0,1); must pass at alpha=0.001.
+	r := rng.New(42)
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = r.Float64()
+	}
+	d, err := KSStatistic(sample, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := KSCriticalValue(len(sample), 0.001); d > crit {
+		t.Fatalf("uniform sample rejected: D=%v crit=%v", d, crit)
+	}
+}
+
+func TestKSStatisticDetectsMismatch(t *testing.T) {
+	// Uniform sample vs N(0,1) CDF must be strongly rejected.
+	r := rng.New(43)
+	sample := make([]float64, 2000)
+	for i := range sample {
+		sample[i] = r.Float64()
+	}
+	d, err := KSStatistic(sample, func(x float64) float64 { return NormalCDF(x, 0, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.2 {
+		t.Fatalf("KS failed to detect wrong distribution: D=%v", d)
+	}
+}
+
+func TestKSEmptySample(t *testing.T) {
+	if _, err := KSStatistic(nil, func(float64) float64 { return 0 }); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestNormalSamplesPassKS(t *testing.T) {
+	// End-to-end: rng.NormFloat64 against NormalCDF through the KS test.
+	r := rng.New(44)
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = r.NormFloat64()
+	}
+	d, err := KSStatistic(sample, func(x float64) float64 { return NormalCDF(x, 0, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := KSCriticalValue(len(sample), 0.001); d > crit {
+		t.Fatalf("normal sample rejected: D=%v crit=%v", d, crit)
+	}
+}
+
+func TestKSCriticalValueEdges(t *testing.T) {
+	if !math.IsNaN(KSCriticalValue(0, 0.05)) {
+		t.Fatal("n=0 accepted")
+	}
+	if !math.IsNaN(KSCriticalValue(10, 0)) {
+		t.Fatal("alpha=0 accepted")
+	}
+	// Known value: c(0.05) ~= 1.358 => crit at n=100 ~= 0.1358.
+	if got := KSCriticalValue(100, 0.05); !almostEq(got, 0.1358, 5e-3) {
+		t.Fatalf("crit = %v", got)
+	}
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSEBasic(t *testing.T) {
+	got, err := MSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Fatalf("identical MSE = %v, %v", got, err)
+	}
+	got, err = MSE([]float64{0, 0}, []float64{1, -1})
+	if err != nil || got != 1 {
+		t.Fatalf("MSE = %v want 1 (err %v)", got, err)
+	}
+}
+
+func TestMSEErrors(t *testing.T) {
+	if _, err := MSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := MSE(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{0, 0}, []float64{3, -1})
+	if err != nil || got != 2 {
+		t.Fatalf("MAE = %v (err %v)", got, err)
+	}
+	if _, err := MAE([]float64{1}, nil); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if L1(x) != 7 {
+		t.Fatalf("L1 = %v", L1(x))
+	}
+	if L2(x) != 5 {
+		t.Fatalf("L2 = %v", L2(x))
+	}
+	if LInf(x) != 4 {
+		t.Fatalf("LInf = %v", LInf(x))
+	}
+}
+
+func TestDot(t *testing.T) {
+	got, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil || got != 32 {
+		t.Fatalf("dot = %v (err %v)", got, err)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	a := []float64{0.5, 0.5, 0}
+	b := []float64{0, 0.5, 0.5}
+	got, err := TotalVariation(a, b)
+	if err != nil || got != 0.5 {
+		t.Fatalf("TV = %v (err %v)", got, err)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float64{1, -2, 0}) {
+		t.Fatal("finite vector rejected")
+	}
+	if AllFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN accepted")
+	}
+	if AllFinite([]float64{math.Inf(-1)}) {
+		t.Fatal("Inf accepted")
+	}
+	if !AllFinite(nil) {
+		t.Fatal("empty vector rejected")
+	}
+}
+
+func TestMSESymmetricProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n == 0 {
+			return true
+		}
+		a, b = a[:n], b[:n]
+		if !AllFinite(a) || !AllFinite(b) {
+			return true
+		}
+		for i := range a {
+			if math.Abs(a[i]) > 1e100 || math.Abs(b[i]) > 1e100 {
+				return true
+			}
+		}
+		m1, err1 := MSE(a, b)
+		m2, err2 := MSE(b, a)
+		return err1 == nil && err2 == nil && m1 == m2 && m1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2TriangleProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		if !AllFinite(a) || !AllFinite(b) {
+			return true
+		}
+		for i := range a {
+			if math.Abs(a[i]) > 1e100 || math.Abs(b[i]) > 1e100 {
+				return true
+			}
+		}
+		sum := make([]float64, n)
+		for i := range a {
+			sum[i] = a[i] + b[i]
+		}
+		return L2(sum) <= L2(a)+L2(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,352 @@
+// Package ldprecover is the public API of this repository: a Go
+// implementation of LDPRecover (Sun et al., ICDE 2024), which recovers
+// accurate aggregated frequencies from poisoning attacks against local
+// differential privacy protocols, together with the full stack the paper
+// builds on — the GRR/OUE/OLH frequency-estimation protocols, the
+// Manip/MGA/adaptive/input-poisoning attacks, and the Detection and
+// k-means countermeasure baselines.
+//
+// # Quick start
+//
+//	proto, _ := ldprecover.NewOUE(domainSize, epsilon)
+//	// ... collect reports, aggregate ...
+//	poisoned, _ := ldprecover.EstimateFrequencies(reports, proto.Params())
+//	res, _ := ldprecover.Recover(poisoned, proto.Params(), ldprecover.Options{})
+//	fmt.Println(res.Frequencies) // non-negative, sums to 1
+//
+// When the attacker's target items are known (e.g. from
+// ldprecover.ZScoreOutliers over historical estimates), pass them via
+// Options.Targets to run LDPRecover*, the paper's partial-knowledge
+// variant, which is strictly more accurate against targeted attacks.
+//
+// See examples/ for runnable end-to-end scenarios and DESIGN.md for the
+// paper-to-package map.
+package ldprecover
+
+import (
+	"ldprecover/internal/attack"
+	"ldprecover/internal/core"
+	"ldprecover/internal/dataset"
+	"ldprecover/internal/detect"
+	"ldprecover/internal/harmony"
+	"ldprecover/internal/hh"
+	"ldprecover/internal/kv"
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/metrics"
+	"ldprecover/internal/rng"
+)
+
+// Re-exported protocol types (paper §III-B).
+type (
+	// Protocol is a pure LDP frequency-estimation protocol (Ψ, Φ).
+	Protocol = ldp.Protocol
+	// Report is one user's perturbed submission.
+	Report = ldp.Report
+	// Params carries a protocol's aggregation parameters (p, q, d).
+	Params = ldp.Params
+	// GRR is General Randomized Response.
+	GRR = ldp.GRR
+	// OUE is Optimized Unary Encoding.
+	OUE = ldp.OUE
+	// OLH is Optimized Local Hashing.
+	OLH = ldp.OLH
+	// SUE is Symmetric Unary Encoding (basic RAPPOR) — not part of the
+	// paper's evaluation, included to demonstrate recovery generality.
+	SUE = ldp.SUE
+)
+
+// Re-exported recovery types (paper §V).
+type (
+	// Options configures Recover; see core.Options for the fields.
+	Options = core.Options
+	// Result carries recovered frequencies and diagnostics.
+	Result = core.Result
+	// Refiner maps an estimate onto the probability simplex.
+	Refiner = core.Refiner
+)
+
+// Re-exported attack types (paper §II, §V-C, §VII).
+type (
+	// Attack crafts malicious users' data.
+	Attack = attack.Attack
+	// Manip is the untargeted manipulation attack.
+	Manip = attack.Manip
+	// MGA is the maximal gain attack.
+	MGA = attack.MGA
+	// Adaptive is the paper's adaptive attack.
+	Adaptive = attack.Adaptive
+	// Multi composes several attackers.
+	Multi = attack.Multi
+	// MGAIPA is MGA under the input-poisoning model (§VII-B).
+	MGAIPA = attack.MGAIPA
+)
+
+// Re-exported defense types (paper §VI-A.5, §VII-B).
+type (
+	// DetectionResult is the Detection baseline's output.
+	DetectionResult = detect.DetectionResult
+	// KMeansDefense is the subset-clustering defense.
+	KMeansDefense = detect.KMeansDefense
+	// KMResult is its output.
+	KMResult = detect.KMResult
+)
+
+// Dataset is an item-frequency dataset.
+type Dataset = dataset.Dataset
+
+// Rand is the deterministic generator used across the library.
+type Rand = rng.Rand
+
+// DefaultEta is the paper's default recovery parameter η (§VI-A.4).
+const DefaultEta = core.DefaultEta
+
+// NewRand returns a deterministic random generator for the given seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// NewGRR constructs General Randomized Response over a domain of size d
+// with privacy budget epsilon.
+func NewGRR(d int, epsilon float64) (*GRR, error) { return ldp.NewGRR(d, epsilon) }
+
+// NewOUE constructs Optimized Unary Encoding.
+func NewOUE(d int, epsilon float64) (*OUE, error) { return ldp.NewOUE(d, epsilon) }
+
+// NewOLH constructs Optimized Local Hashing with g = ⌈e^ε+1⌉.
+func NewOLH(d int, epsilon float64) (*OLH, error) { return ldp.NewOLH(d, epsilon) }
+
+// NewSUE constructs Symmetric Unary Encoding (basic RAPPOR).
+func NewSUE(d int, epsilon float64) (*SUE, error) { return ldp.NewSUE(d, epsilon) }
+
+// NewBLH constructs Binary Local Hashing (OLH with a 2-value hash range).
+func NewBLH(d int, epsilon float64) (*OLH, error) { return ldp.NewBLH(d, epsilon) }
+
+// EstimateFrequencies aggregates reports into unbiased frequency
+// estimates (Eq. 11–13).
+func EstimateFrequencies(reports []Report, pr Params) ([]float64, error) {
+	return ldp.EstimateFrequencies(reports, pr)
+}
+
+// Accumulator is a streaming, mergeable server-side aggregator.
+type Accumulator = ldp.Accumulator
+
+// NewAccumulator returns an empty streaming aggregator over a domain of
+// size d.
+func NewAccumulator(d int) (*Accumulator, error) { return ldp.NewAccumulator(d) }
+
+// MarshalReport serializes a report to the library's wire format, so
+// clients and servers built on this package can exchange perturbed data.
+func MarshalReport(rep Report) ([]byte, error) { return ldp.MarshalReport(rep) }
+
+// UnmarshalReport parses a wire-format report.
+func UnmarshalReport(data []byte) (Report, error) { return ldp.UnmarshalReport(data) }
+
+// ConfidenceInterval returns the two-sided (1-alpha) CLT confidence
+// interval for an item's estimated frequency under the protocol's
+// theoretical variance.
+func ConfidenceInterval(p Protocol, f float64, n int64, alpha float64) (lo, hi float64, err error) {
+	return ldp.ConfidenceInterval(p, f, n, alpha)
+}
+
+// coreParams converts protocol params to the recovery core's triple.
+func coreParams(pr Params) core.Params {
+	return core.Params{P: pr.P, Q: pr.Q, Domain: pr.Domain}
+}
+
+// Recover runs LDPRecover on a poisoned frequency vector aggregated under
+// the protocol described by pr. With Options.Targets set it runs
+// LDPRecover* (partial knowledge); with Options.MaliciousOverride set it
+// uses externally learnt malicious statistics (LDPRecover-KM).
+func Recover(poisoned []float64, pr Params, opts Options) (*Result, error) {
+	return core.Recover(poisoned, coreParams(pr), opts)
+}
+
+// RecoverWithTargets is shorthand for Recover with partial knowledge of
+// the attacker-selected items.
+func RecoverWithTargets(poisoned []float64, pr Params, targets []int, eta float64) (*Result, error) {
+	return core.Recover(poisoned, coreParams(pr), Options{Eta: eta, Targets: targets})
+}
+
+// MaliciousSum returns the learnt summation of malicious frequencies
+// (Eq. 21) for a protocol's aggregation parameters.
+func MaliciousSum(pr Params) (float64, error) {
+	return core.MaliciousSum(coreParams(pr))
+}
+
+// ProjectSimplex is the exact Euclidean projection onto the probability
+// simplex; RefineKKT is the paper's Algorithm 1 (they compute the same
+// point).
+func ProjectSimplex(estimate []float64) ([]float64, error) {
+	return core.ProjectSimplex(estimate)
+}
+
+// RefineKKT is Algorithm 1's iterative KKT refinement.
+func RefineKKT(estimate []float64) ([]float64, error) {
+	return core.RefineKKT(estimate)
+}
+
+// NewManip constructs the untargeted Manip attack.
+func NewManip(subsetFraction float64, subsetSeed uint64) (*Manip, error) {
+	return attack.NewManip(subsetFraction, subsetSeed)
+}
+
+// NewMGA constructs the targeted maximal gain attack.
+func NewMGA(targets []int) (*MGA, error) { return attack.NewMGA(targets) }
+
+// NewAdaptive constructs the adaptive attack from an attacker-designed
+// distribution; NewRandomAdaptive draws that distribution at random.
+func NewAdaptive(dist []float64) (*Adaptive, error) { return attack.NewAdaptive(dist) }
+
+// NewRandomAdaptive draws a random attacker-designed distribution over a
+// domain of size d.
+func NewRandomAdaptive(r *Rand, d int) (*Adaptive, error) {
+	return attack.NewRandomAdaptive(r, d)
+}
+
+// NewMGAIPA constructs MGA under input poisoning: malicious inputs are
+// target items, but perturbation is honest (§VII-B).
+func NewMGAIPA(targets []int, domain int) (*MGAIPA, error) {
+	return attack.NewMGAIPA(targets, domain)
+}
+
+// NewMultiAdaptive builds k independent adaptive attackers (§VII-C).
+func NewMultiAdaptive(r *Rand, k, domain int) (*Multi, error) {
+	return attack.NewMultiAdaptive(r, k, domain)
+}
+
+// RandomTargets draws r distinct target items from a domain of size d.
+func RandomTargets(rand *Rand, d, r int) ([]int, error) {
+	return attack.RandomTargets(rand, d, r)
+}
+
+// Detection runs the Detection countermeasure baseline with the paper's
+// any-target rule.
+func Detection(reports []Report, targets []int, pr Params) (*DetectionResult, error) {
+	return detect.Detection(reports, targets, pr, detect.AnyTarget)
+}
+
+// NewKMeansDefense constructs the k-means subset defense with subset
+// sample rate xi.
+func NewKMeansDefense(xi float64) (*KMeansDefense, error) {
+	return detect.NewKMeansDefense(xi)
+}
+
+// RecoverKM integrates k-means-learnt malicious statistics into recovery
+// (LDPRecover-KM, §VII-B).
+func RecoverKM(poisoned []float64, km *KMResult, pr Params, eta float64) (*Result, error) {
+	return detect.RecoverKM(poisoned, km, coreParams(pr), eta)
+}
+
+// ZScoreOutliers flags likely attack targets from historical frequency
+// series (§V-D's oracle).
+func ZScoreOutliers(history [][]float64, current []float64, k int, minZ float64) ([]int, error) {
+	return detect.ZScoreOutliers(history, current, k, minZ)
+}
+
+// TopIncrease returns the k items with the largest frequency increase.
+func TopIncrease(before, after []float64, k int) ([]int, error) {
+	return detect.TopIncrease(before, after, k)
+}
+
+// MSE is the paper's accuracy metric (Eq. 36).
+func MSE(estimate, reference []float64) (float64, error) {
+	return metrics.MSE(estimate, reference)
+}
+
+// FrequencyGain is the targeted-attack metric (Eq. 37).
+func FrequencyGain(estimate, genuine []float64, targets []int) (float64, error) {
+	return metrics.FrequencyGain(estimate, genuine, targets)
+}
+
+// SyntheticIPUMS and SyntheticFire return the paper-scale dataset
+// surrogates (see DESIGN.md §3).
+func SyntheticIPUMS() *Dataset { return dataset.SyntheticIPUMS() }
+
+// SyntheticFire returns the Fire dataset surrogate.
+func SyntheticFire() *Dataset { return dataset.SyntheticFire() }
+
+// ZipfDataset builds a Zipf(s)-shaped dataset with domain d and n users.
+func ZipfDataset(name string, d int, n int64, s float64) (*Dataset, error) {
+	return dataset.Zipf(name, d, n, s)
+}
+
+// PerturbAll perturbs a whole population described by per-item true
+// counts, returning one report per user.
+func PerturbAll(p Protocol, r *Rand, trueCounts []int64) ([]Report, error) {
+	return ldp.PerturbAll(p, r, trueCounts)
+}
+
+// GenerateHistory synthesizes historical genuine frequency series for
+// outlier-based target identification.
+func GenerateHistory(d *Dataset, periods int, drift float64, r *Rand) ([][]float64, error) {
+	return dataset.GenerateHistory(d, periods, drift, r)
+}
+
+// Harmony is the mean-estimation protocol of §VII-A (binary
+// discretization + randomized response); HarmonyResult carries mean
+// recovery outputs.
+type (
+	Harmony       = harmony.Mean
+	HarmonyResult = harmony.RecoverResult
+)
+
+// NewHarmony constructs the Harmony mean-estimation protocol.
+func NewHarmony(epsilon float64) (*Harmony, error) { return harmony.New(epsilon) }
+
+// RecoverHarmonyMean runs LDPRecover on poisoned Harmony category
+// frequencies and returns the recovered mean (§VII-A). Pass the promoted
+// category (harmony indices: 0 = -1, 1 = +1) as targets when known.
+func RecoverHarmonyMean(poisoned []float64, epsilon, eta float64, targets []int) (*HarmonyResult, error) {
+	return harmony.RecoverMean(poisoned, epsilon, eta, targets)
+}
+
+// HarmonyMean converts the two Harmony category frequencies into a mean.
+func HarmonyMean(freqs []float64) (float64, error) { return harmony.EstimateMean(freqs) }
+
+// Key-value collection under LDP (the paper's §VIII future-work item),
+// with joint frequency/mean recovery; see internal/kv for the protocol.
+type (
+	// KVProtocol is the KV-GRR key-value mechanism.
+	KVProtocol = kv.Protocol
+	// KVPair is one user's ⟨key, value⟩ datum.
+	KVPair = kv.Pair
+	// KVReport is a perturbed key-value submission.
+	KVReport = kv.Report
+	// KVAggregate is the raw server-side tally.
+	KVAggregate = kv.Aggregate
+	// KVEstimate holds per-key frequency and mean estimates.
+	KVEstimate = kv.Estimate
+	// KVRecoverOptions configures KV recovery.
+	KVRecoverOptions = kv.RecoverOptions
+	// KVRecovered holds recovered frequencies and means.
+	KVRecovered = kv.Recovered
+)
+
+// NewKV constructs the key-value protocol over d keys with budget split
+// (eps1 for keys, eps2 for values).
+func NewKV(d int, eps1, eps2 float64) (*KVProtocol, error) { return kv.New(d, eps1, eps2) }
+
+// AggregateKVReports tallies key-value reports over a domain of size d.
+func AggregateKVReports(reports []KVReport, d int) (*KVAggregate, error) {
+	return kv.AggregateReports(reports, d)
+}
+
+// Heavy-hitter identification (PEM) over large domains, with a poisoning
+// defense hook; see internal/hh.
+type (
+	// HHConfig parameterizes heavy-hitter identification.
+	HHConfig = hh.Config
+	// HHResult carries the identified items and their estimates.
+	HHResult = hh.Result
+)
+
+// IdentifyHeavyHitters runs prefix-extension heavy-hitter identification
+// over the users' items (each in [0, 2^cfg.Bits)).
+func IdentifyHeavyHitters(r *Rand, cfg HHConfig, items []int) (*HHResult, error) {
+	return hh.Identify(r, cfg, items, nil)
+}
+
+// SuppressHHTargets returns a per-level defense for IdentifyHeavyHitters
+// that deducts a suspected promotion attack's expected gain (Eq. 30
+// restricted to the candidate set).
+func SuppressHHTargets(bits int, suspects []int, eta float64) func(int, []int, []float64, Params, int64) []float64 {
+	return hh.SuppressTargets(bits, suspects, eta)
+}

@@ -1,0 +1,175 @@
+package ldprecover_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ldprecover"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as a downstream
+// user would: simulate, attack, recover, evaluate.
+func TestFacadeEndToEnd(t *testing.T) {
+	const d, eps = 30, 0.5
+	r := ldprecover.NewRand(1)
+
+	ds, err := ldprecover.ZipfDataset("demo", d, 30000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := ldprecover.NewOUE(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genuine, err := ldprecover.PerturbAll(proto, r, ds.Counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := ldprecover.RandomTargets(r, d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mga, err := ldprecover.NewMGA(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	malicious, err := mga.CraftReports(r, proto, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]ldprecover.Report{}, genuine...), malicious...)
+
+	poisoned, err := ldprecover.EstimateFrequencies(all, proto.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	genuineEst, err := ldprecover.EstimateFrequencies(genuine, proto.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := ldprecover.Recover(poisoned, proto.Params(), ldprecover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resStar, err := ldprecover.RecoverWithTargets(poisoned, proto.Params(), targets, ldprecover.DefaultEta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trueF := ds.Frequencies()
+	mseBefore, err := ldprecover.MSE(poisoned, trueF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mseAfter, err := ldprecover.MSE(res.Frequencies, trueF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mseAfter >= mseBefore {
+		t.Fatalf("recovery failed: before %v after %v", mseBefore, mseAfter)
+	}
+
+	fgBefore, err := ldprecover.FrequencyGain(poisoned, genuineEst, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fgStar, err := ldprecover.FrequencyGain(resStar.Frequencies, genuineEst, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fgBefore <= 0 || fgStar >= fgBefore/2 {
+		t.Fatalf("FG not suppressed: before %v star %v", fgBefore, fgStar)
+	}
+
+	// Detection baseline runs on the same reports.
+	det, err := ldprecover.Detection(all, targets, proto.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Removed == 0 {
+		t.Fatal("detection removed nobody")
+	}
+}
+
+func TestFacadeMaliciousSum(t *testing.T) {
+	proto, _ := ldprecover.NewGRR(102, 0.5)
+	sum, err := ldprecover.MaliciousSum(proto.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum < 0.9 || sum > 1.1 {
+		t.Fatalf("GRR malicious sum %v", sum)
+	}
+}
+
+func TestFacadeRefiners(t *testing.T) {
+	in := []float64{0.8, -0.2, 0.6}
+	a, err := ldprecover.RefineKKT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ldprecover.ProjectSimplex(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("refiners disagree: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestFacadeOutlierPipeline(t *testing.T) {
+	ds := ldprecover.SyntheticIPUMS()
+	small, err := ds.Scaled(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ldprecover.NewRand(3)
+	hist, err := ldprecover.GenerateHistory(small, 8, 0.02, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current := append([]float64(nil), small.Frequencies()...)
+	current[11] += 0.2
+	found, err := ldprecover.ZScoreOutliers(hist, current, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) != 1 || found[0] != 11 {
+		t.Fatalf("outliers %v want [11]", found)
+	}
+	top, err := ldprecover.TopIncrease(small.Frequencies(), current, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top[0] != 11 {
+		t.Fatalf("top increase %v", top)
+	}
+}
+
+func TestFacadeSyntheticCorpora(t *testing.T) {
+	if ldprecover.SyntheticIPUMS().Domain() != 102 {
+		t.Fatal("IPUMS surrogate domain wrong")
+	}
+	if ldprecover.SyntheticFire().Domain() != 490 {
+		t.Fatal("Fire surrogate domain wrong")
+	}
+}
+
+// ExampleRecover demonstrates non-knowledge recovery on an analytically
+// poisoned vector.
+func ExampleRecover() {
+	proto, _ := ldprecover.NewGRR(4, 1.0)
+	// A poisoned estimate: item 0's frequency has been inflated.
+	poisoned := []float64{0.70, 0.15, 0.10, 0.05}
+	res, _ := ldprecover.Recover(poisoned, proto.Params(), ldprecover.Options{})
+	var sum float64
+	for _, f := range res.Frequencies {
+		sum += f
+	}
+	fmt.Printf("simplex sum = %.3f\n", sum)
+	// Output: simplex sum = 1.000
+}
