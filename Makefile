@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race bench-smoke vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: everything must build and every test must pass. -short skips
+# the end-to-end example runs; `make test-full` includes them.
+test: build
+	$(GO) test -short ./...
+
+test-full: build
+	$(GO) test ./...
+
+# Race-detector suite for the concurrent aggregation engine (and the
+# trial runner that drives it).
+race:
+	$(GO) test -race ./internal/ldp/... ./internal/experiment/...
+
+# One iteration of every benchmark: catches bit-rot in the paper figure
+# generators and the ingest benchmarks without burning CI minutes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet test race

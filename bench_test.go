@@ -1,6 +1,9 @@
 package ldprecover_test
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"ldprecover"
@@ -243,6 +246,155 @@ func BenchmarkPerturbOUE(b *testing.B) {
 
 func BenchmarkPerturbOLH(b *testing.B) {
 	benchPerturb(b, func() (ldprecover.Protocol, error) { return ldprecover.NewOLH(102, 0.5) })
+}
+
+// Ingest workload shared by the sharded/batch benchmarks: a 2^20-user
+// OUE population over a 128-item domain, generated once per test binary.
+const (
+	ingestDomain = 128
+	ingestUsers  = 1 << 20
+)
+
+var ingestSetup struct {
+	once       sync.Once
+	proto      ldprecover.Protocol
+	trueCounts []int64
+	reports    []ldprecover.Report
+	err        error
+}
+
+func ingestWorkload(b *testing.B) (ldprecover.Protocol, []int64, []ldprecover.Report) {
+	b.Helper()
+	s := &ingestSetup
+	s.once.Do(func() {
+		s.proto, s.err = ldprecover.NewOUE(ingestDomain, 0.5)
+		if s.err != nil {
+			return
+		}
+		s.trueCounts = make([]int64, ingestDomain)
+		var left int64 = ingestUsers
+		for v := 0; v < ingestDomain-1; v++ {
+			c := left / 3
+			s.trueCounts[v] = c
+			left -= c
+		}
+		s.trueCounts[ingestDomain-1] = left
+		s.reports, s.err = ldprecover.PerturbAll(s.proto, ldprecover.NewRand(77), s.trueCounts)
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.proto, s.trueCounts, s.reports
+}
+
+// BenchmarkShardedIngest compares the three server-side aggregation
+// paths on the same >=10^6-report workload:
+//
+//   - sequential-reports: the report-level baseline, one Accumulator;
+//   - sharded-reports: concurrent chunked ingest through
+//     ShardedAccumulator.AddBatch from GOMAXPROCS goroutines;
+//   - batch-counts: the batch perturbation fast path, which never
+//     materializes reports at all (population -> aggregate counts).
+func BenchmarkShardedIngest(b *testing.B) {
+	proto, trueCounts, reports := ingestWorkload(b)
+
+	b.Run("sequential-reports", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc, err := ldprecover.NewAccumulator(ingestDomain)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, rep := range reports {
+				if err := acc.Add(rep); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if acc.Total() != int64(len(reports)) {
+				b.Fatal("lost reports")
+			}
+		}
+	})
+
+	b.Run("sharded-reports", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		const batchSize = 4096
+		for i := 0; i < b.N; i++ {
+			sa, err := ldprecover.NewShardedAccumulator(ingestDomain, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			chunk := (len(reports) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > len(reports) {
+					hi = len(reports)
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(part []ldprecover.Report) {
+					defer wg.Done()
+					for len(part) > 0 {
+						n := batchSize
+						if n > len(part) {
+							n = len(part)
+						}
+						if err := sa.AddBatch(part[:n]); err != nil {
+							b.Error(err)
+							return
+						}
+						part = part[n:]
+					}
+				}(reports[lo:hi])
+			}
+			wg.Wait()
+			if sa.Snapshot().Total() != int64(len(reports)) {
+				b.Fatal("lost reports")
+			}
+		}
+	})
+
+	b.Run("batch-counts", func(b *testing.B) {
+		var n int64
+		for _, c := range trueCounts {
+			n += c
+		}
+		for i := 0; i < b.N; i++ {
+			r := ldprecover.NewRand(uint64(i) + 1)
+			counts, err := ldprecover.BatchSimulate(proto, r, trueCounts, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sa, err := ldprecover.NewShardedAccumulator(ingestDomain, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sa.AddCounts(counts, n); err != nil {
+				b.Fatal(err)
+			}
+			if sa.Total() != n {
+				b.Fatal("lost reports")
+			}
+		}
+	})
+}
+
+// BenchmarkBatchSimulateWorkers measures the batch perturbation fast
+// path's scaling across worker counts on the ingest population.
+func BenchmarkBatchSimulateWorkers(b *testing.B) {
+	proto, trueCounts, _ := ingestWorkload(b)
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ldprecover.BatchSimulate(proto, ldprecover.NewRand(uint64(i)+1), trueCounts, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkWireRoundTrip measures report serialization.

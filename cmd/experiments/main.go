@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -24,12 +25,13 @@ import (
 
 func main() {
 	var (
-		exps   = flag.String("exp", "all", "comma-separated experiment ids (see -list), 'all', or 'ablation:<id>'")
-		scale  = flag.Float64("scale", 1.0, "dataset scale factor (1 = paper scale)")
-		trials = flag.Int("trials", experiment.DefaultTrials, "trials per experimental cell")
-		seed   = flag.Uint64("seed", 20240403, "random seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list   = flag.Bool("list", false, "list available experiment ids and exit")
+		exps    = flag.String("exp", "all", "comma-separated experiment ids (see -list), 'all', or 'ablation:<id>'")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1 = paper scale)")
+		trials  = flag.Int("trials", experiment.DefaultTrials, "trials per experimental cell")
+		seed    = flag.Uint64("seed", 20240403, "random seed")
+		workers = flag.Int("workers", 1, "per-trial batch-simulation goroutines (1 = sequential, 0 = GOMAXPROCS)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list available experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -45,7 +47,10 @@ func main() {
 		return
 	}
 
-	cfg := experiment.Config{Scale: *scale, Trials: *trials, Seed: *seed}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := experiment.Config{Scale: *scale, Trials: *trials, Seed: *seed, Workers: *workers}
 
 	var ids []string
 	if *exps == "all" {

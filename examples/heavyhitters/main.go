@@ -9,14 +9,15 @@ import (
 	"log"
 
 	"ldprecover"
+	"ldprecover/examples/internal/exenv"
 )
 
 func main() {
 	const (
-		bits  = 12 // domain 4096
-		users = 120000
-		k     = 4
+		bits = 12 // domain 4096
+		k    = 4
 	)
+	users := exenv.Users(120000)
 	heavy := []int{100, 2048, 3333, 4000}
 	r := ldprecover.NewRand(31)
 

@@ -1,0 +1,42 @@
+// Package exenv provides the shared environment knob for the runnable
+// examples: LDPRECOVER_EXAMPLE_SCALE shrinks every example's population
+// so the smoke tests in examples/smoke_test.go can execute them quickly,
+// while a normal `go run` keeps the documented full-size parameters.
+package exenv
+
+import (
+	"os"
+	"strconv"
+)
+
+// EnvVar is the environment variable holding the population scale.
+const EnvVar = "LDPRECOVER_EXAMPLE_SCALE"
+
+// Scale returns the population scale factor in (0, 1]: the value of
+// LDPRECOVER_EXAMPLE_SCALE when it parses to that range, 1 otherwise.
+func Scale() float64 {
+	s, err := strconv.ParseFloat(os.Getenv(EnvVar), 64)
+	if err != nil || !(s > 0) || s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Users scales a user count, keeping at least 100 users so every example
+// still has a population worth aggregating.
+func Users(n int) int {
+	scaled := int(float64(n) * Scale())
+	if scaled < 100 {
+		scaled = 100
+	}
+	if scaled > n {
+		scaled = n
+	}
+	return scaled
+}
+
+// Fraction scales a dataset fraction (e.g. the 0.1 passed to
+// Dataset.Scaled), keeping the result positive.
+func Fraction(f float64) float64 {
+	return f * Scale()
+}

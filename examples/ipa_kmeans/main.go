@@ -10,13 +10,14 @@ import (
 	"log"
 
 	"ldprecover"
+	"ldprecover/examples/internal/exenv"
 )
 
 func main() {
 	const epsilon = 0.5
 	r := ldprecover.NewRand(5150)
 
-	ds, err := ldprecover.SyntheticIPUMS().Scaled(0.1)
+	ds, err := ldprecover.SyntheticIPUMS().Scaled(exenv.Fraction(0.1))
 	if err != nil {
 		log.Fatal(err)
 	}

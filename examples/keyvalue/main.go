@@ -9,14 +9,15 @@ import (
 	"log"
 
 	"ldprecover"
+	"ldprecover/examples/internal/exenv"
 )
 
 func main() {
 	const (
 		domain = 20
-		users  = 120000
 		target = 5
 	)
+	users := exenv.Users(120000)
 	r := ldprecover.NewRand(77)
 
 	// App-store style population: key = app id, value = normalized
@@ -44,7 +45,7 @@ func main() {
 	// Honest collection.
 	var reports []ldprecover.KVReport
 	for k := 0; k < domain; k++ {
-		cnt := int(freqs[k] * users)
+		cnt := int(freqs[k] * float64(users))
 		for i := 0; i < cnt; i++ {
 			rep, err := proto.Perturb(r, ldprecover.KVPair{Key: k, Value: means[k]})
 			if err != nil {

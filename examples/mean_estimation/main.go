@@ -9,14 +9,15 @@ import (
 	"log"
 
 	"ldprecover"
+	"ldprecover/examples/internal/exenv"
 )
 
 func main() {
 	const (
 		epsilon  = 0.5
-		users    = 200000
 		trueMean = -0.35 // e.g. average sentiment score in [-1, 1]
 	)
+	users := exenv.Users(200000)
 	r := ldprecover.NewRand(314)
 
 	h, err := ldprecover.NewHarmony(epsilon)

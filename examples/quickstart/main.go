@@ -7,18 +7,19 @@ import (
 	"log"
 
 	"ldprecover"
+	"ldprecover/examples/internal/exenv"
 )
 
 func main() {
 	const (
 		domain  = 64  // distinct items
 		epsilon = 0.5 // privacy budget
-		users   = 50000
 	)
+	users := exenv.Users(50000)
 	r := ldprecover.NewRand(42)
 
 	// A Zipf-shaped population: item 0 most popular.
-	ds, err := ldprecover.ZipfDataset("quickstart", domain, users, 1.1)
+	ds, err := ldprecover.ZipfDataset("quickstart", domain, int64(users), 1.1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	malicious, err := mga.CraftReports(r, proto, users/19) // beta ~= 0.05
+	malicious, err := mga.CraftReports(r, proto, int64(users/19)) // beta ~= 0.05
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,83 @@
+// Package examples holds the smoke tests that keep the runnable examples
+// compiling and running: every example subdirectory is vetted and
+// executed with a reduced population (see internal/exenv), so an API
+// change that breaks an example fails `go test ./examples` instead of
+// rotting silently.
+package examples
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ldprecover/examples/internal/exenv"
+)
+
+// exampleDirs discovers the example programs (every subdirectory except
+// internal/), so newly added examples are covered automatically.
+func exampleDirs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() && e.Name() != "internal" {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no example directories found")
+	}
+	return dirs
+}
+
+func goTool(t *testing.T, ctx context.Context, env []string, args ...string) ([]byte, error) {
+	t.Helper()
+	cmd := exec.CommandContext(ctx, "go", args...)
+	cmd.Dir = ".." // module root; examples are addressed as ./examples/<name>
+	cmd.Env = append(os.Environ(), env...)
+	return cmd.CombinedOutput()
+}
+
+// TestExamplesVet compiles and vets every example.
+func TestExamplesVet(t *testing.T) {
+	for _, dir := range exampleDirs(t) {
+		t.Run(dir, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			out, err := goTool(t, ctx, nil, "vet", "./"+filepath.Join("examples", dir))
+			if err != nil {
+				t.Fatalf("go vet failed: %v\n%s", err, out)
+			}
+		})
+	}
+}
+
+// TestExamplesRun executes every example end-to-end with a reduced
+// population via LDPRECOVER_EXAMPLE_SCALE, checking it exits zero and
+// prints something.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs are skipped in -short mode")
+	}
+	for _, dir := range exampleDirs(t) {
+		t.Run(dir, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+			defer cancel()
+			out, err := goTool(t, ctx,
+				[]string{exenv.EnvVar + "=0.02"},
+				"run", "./"+filepath.Join("examples", dir))
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"log"
 
 	"ldprecover"
+	"ldprecover/examples/internal/exenv"
 )
 
 func main() {
@@ -17,7 +18,7 @@ func main() {
 
 	// The IPUMS surrogate at 10% scale keeps this example fast.
 	full := ldprecover.SyntheticIPUMS()
-	ds, err := full.Scaled(0.1)
+	ds, err := full.Scaled(exenv.Fraction(0.1))
 	if err != nil {
 		log.Fatal(err)
 	}

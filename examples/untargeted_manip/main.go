@@ -9,13 +9,14 @@ import (
 	"log"
 
 	"ldprecover"
+	"ldprecover/examples/internal/exenv"
 )
 
 func main() {
 	const epsilon = 0.5
 	r := ldprecover.NewRand(99)
 
-	ds, err := ldprecover.SyntheticFire().Scaled(0.05)
+	ds, err := ldprecover.SyntheticFire().Scaled(exenv.Fraction(0.05))
 	if err != nil {
 		log.Fatal(err)
 	}

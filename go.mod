@@ -1,0 +1,3 @@
+module ldprecover
+
+go 1.24

@@ -95,9 +95,20 @@ func countsFromItemCounts(r *rng.Rand, p ldp.Protocol, itemCounts []int64) ([]in
 }
 
 // sampleItemCounts draws m items from dist and returns per-item counts.
+// Two batch samplers cover the two regimes: for m below the domain size
+// an alias table gives O(m) draws (large heavy-hitter-style domains, few
+// malicious users); otherwise the conditional-binomial multinomial gives
+// O(d) draws independent of m (paper-scale populations).
 func sampleItemCounts(r *rng.Rand, dist []float64, m int64) ([]int64, error) {
 	if m == 0 {
 		return make([]int64, len(dist)), nil
+	}
+	if m < int64(len(dist)) {
+		alias, err := rng.NewAlias(dist)
+		if err != nil {
+			return nil, err
+		}
+		return alias.PickMany(r, int(m)), nil
 	}
 	return r.Multinomial(m, dist), nil
 }

@@ -14,6 +14,9 @@ type Config struct {
 	Trials int
 	// Seed fixes the run's randomness.
 	Seed uint64
+	// Workers sets the per-trial batch-simulation parallelism
+	// (ldp.BatchSimulate); 0 or 1 keeps the sequential sampler.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -25,6 +28,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 20240403 // arbitrary fixed default
+	}
+	if c.Workers == 0 {
+		c.Workers = 1 // sequential sampler: seeded runs reproduce across machines
 	}
 	return c
 }
@@ -77,6 +83,7 @@ func Figure3(cfg Config) ([]*Table, error) {
 				Attack:       combo.Attack,
 				Trials:       cfg.Trials,
 				Seed:         cfg.Seed,
+				Workers:      cfg.Workers,
 				RunDetection: true,
 			})
 			if err != nil {
@@ -116,6 +123,7 @@ func Figure4(cfg Config) ([]*Table, error) {
 				Attack:       MGAAttack,
 				Trials:       cfg.Trials,
 				Seed:         cfg.Seed,
+				Workers:      cfg.Workers,
 				RunDetection: true,
 			})
 			if err != nil {
@@ -159,6 +167,7 @@ func parameterSweep(cfg Config, ds *dataset.Dataset, dsName, param string, value
 				Attack:   AAAttack,
 				Trials:   cfg.Trials,
 				Seed:     cfg.Seed,
+				Workers:  cfg.Workers,
 			}
 			switch param {
 			case "beta":
@@ -242,6 +251,7 @@ func Figure7(cfg Config) ([]*Table, error) {
 				Beta:     beta,
 				Trials:   cfg.Trials,
 				Seed:     cfg.Seed,
+				Workers:  cfg.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig7 beta=%v %s: %w", beta, proto, err)
@@ -281,6 +291,7 @@ func TableI(cfg Config) ([]*Table, error) {
 				Beta:     0,
 				Trials:   cfg.Trials,
 				Seed:     cfg.Seed,
+				Workers:  cfg.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("table1 %s %s: %w", proto, ds.Name, err)
@@ -319,6 +330,7 @@ func Figure8(cfg Config) ([]*Table, error) {
 					Beta:         beta,
 					Trials:       cfg.Trials,
 					Seed:         cfg.Seed,
+					Workers:      cfg.Workers,
 					SkipRecovery: true,
 				})
 				if err != nil {
@@ -357,6 +369,7 @@ func Figure9(cfg Config) ([]*Table, error) {
 				Attack:       MGAIPAAttack,
 				Trials:       cfg.Trials,
 				Seed:         cfg.Seed,
+				Workers:      cfg.Workers,
 				RunKMeans:    true,
 				Xi:           xi,
 				SkipRecovery: true,
@@ -396,6 +409,7 @@ func Figure10(cfg Config) ([]*Table, error) {
 				Beta:     beta,
 				Trials:   cfg.Trials,
 				Seed:     cfg.Seed,
+				Workers:  cfg.Workers,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig10 beta=%v %s: %w", beta, proto, err)

@@ -170,7 +170,7 @@ func (s Scenario) runTrial(trial int) (*Metrics, error) {
 			allReports = append(allReports, malReports...)
 		}
 	} else {
-		genCounts, err = proto.SimulateGenuineCounts(r, s.Dataset.Counts)
+		genCounts, err = ldp.BatchSimulate(proto, r, s.Dataset.Counts, s.Workers)
 		if err != nil {
 			return nil, err
 		}

@@ -8,8 +8,9 @@ import (
 // Accumulator is a streaming server-side aggregator: reports arrive one
 // at a time (e.g. off the wire via UnmarshalReport), support counts
 // accumulate incrementally, and partial aggregates from different shards
-// merge. It is NOT safe for concurrent use; shard per goroutine and
-// Merge.
+// merge. It is NOT safe for concurrent use: shard per goroutine and
+// Merge, or use ShardedAccumulator, which does exactly that behind a
+// concurrency-safe API.
 type Accumulator struct {
 	counts []int64
 	total  int64

@@ -1,0 +1,251 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/rng"
+)
+
+// TestBatchPerturbMatchesSimulateGenuineCounts: BatchPerturb is the same
+// sampler as Protocol.SimulateGenuineCounts — identical seeds must give
+// identical counts, for every protocol.
+func TestBatchPerturbMatchesSimulateGenuineCounts(t *testing.T) {
+	const d, eps = 14, 0.7
+	trueCounts := make([]int64, d)
+	for v := range trueCounts {
+		trueCounts[v] = int64(30 * (v + 1))
+	}
+	for _, p := range shardedTestProtocols(t, d, eps) {
+		bp, ok := p.(BatchPerturber)
+		if !ok {
+			t.Fatalf("%s does not implement BatchPerturber", p.Name())
+		}
+		got, err := bp.BatchPerturb(rng.New(5), trueCounts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := p.SimulateGenuineCounts(rng.New(5), trueCounts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: BatchPerturb diverges at %d: %d vs %d", p.Name(), v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestBatchSimulateSingleWorkerIsSequential: with workers=1 the parallel
+// driver must be bit-identical to the sequential batch path.
+func TestBatchSimulateSingleWorkerIsSequential(t *testing.T) {
+	const d, eps = 14, 0.7
+	trueCounts := make([]int64, d)
+	for v := range trueCounts {
+		trueCounts[v] = int64(25 * (v + 2))
+	}
+	for _, p := range shardedTestProtocols(t, d, eps) {
+		got, err := BatchSimulate(p, rng.New(9), trueCounts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := p.SimulateGenuineCounts(rng.New(9), trueCounts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: workers=1 diverges at %d: %d vs %d", p.Name(), v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBatchSimulateValidation(t *testing.T) {
+	for _, p := range testProtocols(t, 10, 0.5) {
+		if _, err := BatchSimulate(p, nil, make([]int64, 10), 2); err == nil {
+			t.Fatalf("%s accepted nil rng", p.Name())
+		}
+		if _, err := BatchSimulate(p, rng.New(1), make([]int64, 4), 2); err == nil {
+			t.Fatalf("%s accepted wrong-length counts", p.Name())
+		}
+		bad := make([]int64, 10)
+		bad[7] = -3
+		if _, err := BatchSimulate(p, rng.New(1), bad, 2); err == nil {
+			t.Fatalf("%s accepted negative count", p.Name())
+		}
+	}
+}
+
+// TestBatchSimulateDeterministicPerWorkerCount: fixed seed and worker
+// count give reproducible output even though sampling runs on multiple
+// goroutines (each chunk owns a substream split off deterministically).
+func TestBatchSimulateDeterministicPerWorkerCount(t *testing.T) {
+	const d, eps = 64, 0.5
+	trueCounts := make([]int64, d)
+	for v := range trueCounts {
+		trueCounts[v] = int64(100 + 3*v)
+	}
+	for _, p := range shardedTestProtocols(t, d, eps) {
+		for _, workers := range []int{2, 4, 7} {
+			a, err := BatchSimulate(p, rng.New(77), trueCounts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := BatchSimulate(p, rng.New(77), trueCounts, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range a {
+				if a[v] != b[v] {
+					t.Fatalf("%s workers=%d not deterministic at item %d", p.Name(), workers, v)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGRRConservation: GRR support counts sum to exactly n on the
+// parallel path too (each simulated report supports exactly one item).
+func TestParallelGRRConservation(t *testing.T) {
+	grr, err := NewGRR(40, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueCounts := make([]int64, 40)
+	var n int64
+	for v := range trueCounts {
+		trueCounts[v] = int64(50 + 7*v)
+		n += trueCounts[v]
+	}
+	r := rng.New(31)
+	for trial := 0; trial < 30; trial++ {
+		sim, err := BatchSimulate(grr, r, trueCounts, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, c := range sim {
+			if c < 0 {
+				t.Fatal("negative support count")
+			}
+			total += c
+		}
+		if total != n {
+			t.Fatalf("trial %d: counts sum %d want %d", trial, total, n)
+		}
+	}
+}
+
+// TestBatchMatchesReportLevelDistribution is the batch-vs-report-level
+// property: over repeated trials, the parallel batch path and the exact
+// PerturbAll+CountSupports pipeline must agree on every item's mean
+// support count within CLT confidence bounds, and on its variance within
+// an F-test-style ratio bound.
+func TestBatchMatchesReportLevelDistribution(t *testing.T) {
+	const (
+		d, eps = 10, 0.8
+		trials = 120
+	)
+	trueCounts := []int64{400, 350, 300, 250, 200, 150, 100, 80, 60, 40}
+	var n int64
+	for _, c := range trueCounts {
+		n += c
+	}
+	r := rng.New(2024)
+	for _, p := range shardedTestProtocols(t, d, eps) {
+		batchSum := make([]float64, d)
+		batchSq := make([]float64, d)
+		exactSum := make([]float64, d)
+		exactSq := make([]float64, d)
+		for trial := 0; trial < trials; trial++ {
+			batch, err := BatchSimulate(p, r, trueCounts, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports, err := PerturbAll(p, r, trueCounts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, err := CountSupports(reports, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < d; v++ {
+				b, e := float64(batch[v]), float64(exact[v])
+				batchSum[v] += b
+				batchSq[v] += b * b
+				exactSum[v] += e
+				exactSq[v] += e * e
+			}
+		}
+		pr := p.Params()
+		for v := 0; v < d; v++ {
+			bMean := batchSum[v] / trials
+			eMean := exactSum[v] / trials
+			// Theoretical sd of C(v) from the marginal binomials.
+			nv := float64(trueCounts[v])
+			varC := nv*pr.P*(1-pr.P) + (float64(n)-nv)*pr.Q*(1-pr.Q)
+			se := math.Sqrt(2 * varC / trials) // sd of a difference of means
+			if math.Abs(bMean-eMean) > 6*se {
+				t.Fatalf("%s: item %d mean diverges: batch %v exact %v (se %v)",
+					p.Name(), v, bMean, eMean, se)
+			}
+			bVar := batchSq[v]/trials - bMean*bMean
+			eVar := exactSq[v]/trials - eMean*eMean
+			if eVar <= 0 || bVar <= 0 {
+				t.Fatalf("%s: item %d degenerate variance: batch %v exact %v",
+					p.Name(), v, bVar, eVar)
+			}
+			// With 120 trials the variance ratio concentrates near 1; a
+			// factor-3 band is ~10 sigma, so a failure means a real bug.
+			if ratio := bVar / eVar; ratio > 3 || ratio < 1.0/3 {
+				t.Fatalf("%s: item %d variance ratio %v (batch %v exact %v)",
+					p.Name(), v, ratio, bVar, eVar)
+			}
+		}
+	}
+}
+
+// TestBatchSimulateFeedsShardedAccumulator: the intended pairing — batch
+// partials from population shards folded through AddCounts — yields
+// unbiased estimates of the true frequencies.
+func TestBatchSimulateFeedsShardedAccumulator(t *testing.T) {
+	const d, eps = 8, 1.0
+	oue, err := NewOUE(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueCounts := []int64{4000, 3000, 2000, 1000, 800, 600, 400, 200}
+	var n int64
+	for _, c := range trueCounts {
+		n += c
+	}
+	trueF := make([]float64, d)
+	for v, c := range trueCounts {
+		trueF[v] = float64(c) / float64(n)
+	}
+	sa, err := NewShardedAccumulator(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(404)
+	counts, err := BatchSimulate(oue, r, trueCounts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.AddCounts(counts, n); err != nil {
+		t.Fatal(err)
+	}
+	est, err := sa.Estimate(oue.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range est {
+		se := math.Sqrt(oue.Variance(trueF[v], n)) / float64(n)
+		if math.Abs(est[v]-trueF[v]) > 6*se {
+			t.Fatalf("item %d: estimate %v true %v (se %v)", v, est[v], trueF[v], se)
+		}
+	}
+}

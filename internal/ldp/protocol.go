@@ -9,7 +9,10 @@
 // defenses), and SimulateGenuineCounts samples the aggregated support
 // counts of a whole population directly from their marginal distributions
 // (fast, used by the paper-scale experiment harness; see DESIGN.md §2 for
-// the fidelity discussion).
+// the fidelity discussion). The count path is formalized by the
+// BatchPerturber interface; BatchSimulate parallelizes it across worker
+// goroutines, and ShardedAccumulator provides the matching
+// concurrency-safe ingest for report streams.
 package ldp
 
 import (

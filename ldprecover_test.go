@@ -93,6 +93,78 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFacadeShardedBatchPipeline exercises the concurrent ingest engine
+// and the batch perturbation fast path through the public API: a genuine
+// population simulated in batch, a poisoning attack's counts folded in,
+// and recovery run on the sharded aggregate's estimate.
+func TestFacadeShardedBatchPipeline(t *testing.T) {
+	const d, eps = 24, 0.8
+	r := ldprecover.NewRand(9)
+
+	ds, err := ldprecover.ZipfDataset("sharded-demo", d, 40000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := ldprecover.NewOUE(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ ldprecover.BatchPerturber = proto // fast path is part of the API
+
+	genCounts, err := ldprecover.BatchSimulate(proto, r, ds.Counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets, err := ldprecover.RandomTargets(r, d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mga, err := ldprecover.NewMGA(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 2000
+	malCounts, err := mga.CraftCounts(r, proto, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sa, err := ldprecover.NewShardedAccumulator(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.AddCounts(genCounts, ds.N()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.AddCounts(malCounts, m); err != nil {
+		t.Fatal(err)
+	}
+	if sa.Total() != ds.N()+m {
+		t.Fatalf("total %d want %d", sa.Total(), ds.N()+m)
+	}
+
+	poisoned, err := sa.Estimate(proto.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ldprecover.Recover(poisoned, proto.Params(), ldprecover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueF := ds.Frequencies()
+	mseBefore, err := ldprecover.MSE(poisoned, trueF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mseAfter, err := ldprecover.MSE(res.Frequencies, trueF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mseAfter >= mseBefore {
+		t.Fatalf("recovery failed on batch pipeline: before %v after %v", mseBefore, mseAfter)
+	}
+}
+
 func TestFacadeMaliciousSum(t *testing.T) {
 	proto, _ := ldprecover.NewGRR(102, 0.5)
 	sum, err := ldprecover.MaliciousSum(proto.Params())
