@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke vet ci
+.PHONY: all build test race bench-smoke bench-json vet ci
 
 all: build test
 
@@ -24,6 +24,17 @@ race:
 # generators and the ingest benchmarks without burning CI minutes.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Machine-readable perf baseline: run the bench suite once and emit
+# BENCH_report.json (ns/op plus the recovery-quality metrics such as
+# mse-after / fg-after), the artifact CI archives per commit so future
+# changes can diff against a recorded trajectory. Staged through a temp
+# file (not a pipe) so a failing benchmark fails the target.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > BENCH_output.tmp
+	cat BENCH_output.tmp
+	$(GO) run ./cmd/benchjson -o BENCH_report.json BENCH_output.tmp
+	rm -f BENCH_output.tmp
 
 vet:
 	$(GO) vet ./...

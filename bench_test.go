@@ -2,12 +2,14 @@ package ldprecover_test
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"testing"
 
 	"ldprecover"
 	"ldprecover/internal/experiment"
+	"ldprecover/internal/ldp"
 )
 
 // The benchmarks below regenerate every table and figure of the paper's
@@ -152,7 +154,22 @@ func BenchmarkRecoverCore(b *testing.B) {
 func rFloat(r *ldprecover.Rand) float64 { return r.Float64() }
 
 // BenchmarkEndToEndPipeline_OLH measures the full report-level pipeline
-// (perturb, attack, aggregate, recover) on OLH at small scale.
+// (perturb, attack, aggregate, recover) on OLH at small scale, in three
+// variants:
+//
+//   - itemwise ("before"): the seed implementation's cost model —
+//     per-report perturbation re-deriving the perturbation probability
+//     (two math.Exp per report), one boxed report allocation per user,
+//     and one full, unamortized hash evaluation per (report, item) pair
+//     during aggregation (Supports premixes per call, matching the
+//     retired single-stage hash's per-pair cost while keeping the
+//     statistical workload identical across the three variants);
+//   - batched ("after", single core): arena-backed PerturbAllInto plus
+//     the premixed item-major batch aggregation, allocating nothing per
+//     report in steady state;
+//   - sharded ("after", concurrent): the same fast path with ingest
+//     fanned out over GOMAXPROCS goroutines through ShardedAccumulator,
+//     the production report-level configuration.
 func BenchmarkEndToEndPipeline_OLH(b *testing.B) {
 	const d, eps = 102, 0.5
 	ds, err := ldprecover.SyntheticIPUMS().Scaled(0.01)
@@ -163,34 +180,142 @@ func BenchmarkEndToEndPipeline_OLH(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r := ldprecover.NewRand(uint64(i) + 1)
-		reports, err := ldprecover.PerturbAll(proto, r, ds.Counts)
-		if err != nil {
-			b.Fatal(err)
-		}
+	// craft and finish return errors so each sub-benchmark reports
+	// failures on its own *testing.B (Fatal on the parent from a
+	// sub-benchmark goroutine is not allowed).
+	craft := func(r *ldprecover.Rand, m int64) ([]ldprecover.Report, error) {
 		targets, err := ldprecover.RandomTargets(r, d, 10)
 		if err != nil {
-			b.Fatal(err)
+			return nil, err
 		}
 		mga, err := ldprecover.NewMGA(targets)
 		if err != nil {
-			b.Fatal(err)
+			return nil, err
 		}
-		malicious, err := mga.CraftReports(r, proto, int64(len(reports)/19))
-		if err != nil {
-			b.Fatal(err)
-		}
-		all := append(reports, malicious...)
-		poisoned, err := ldprecover.EstimateFrequencies(all, proto.Params())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := ldprecover.Recover(poisoned, proto.Params(), ldprecover.Options{}); err != nil {
-			b.Fatal(err)
-		}
+		return mga.CraftReports(r, proto, m)
 	}
+	finish := func(all []ldprecover.Report, counts []int64) error {
+		poisoned, err := ldprecover.Unbias(counts, int64(len(all)), proto.Params())
+		if err != nil {
+			return err
+		}
+		_, err = ldprecover.Recover(poisoned, proto.Params(), ldprecover.Options{})
+		return err
+	}
+
+	b.Run("itemwise", func(b *testing.B) {
+		g := proto.G()
+		for i := 0; i < b.N; i++ {
+			r := ldprecover.NewRand(uint64(i) + 1)
+			var reports []ldprecover.Report
+			for v, c := range ds.Counts {
+				for k := int64(0); k < c; k++ {
+					// Seed-faithful OLH perturbation: probability derived
+					// from scratch per report, value-boxed report.
+					seed := r.Uint64()
+					h := proto.Hash(seed, v)
+					value := h
+					pPerturb := math.Exp(eps) / (math.Exp(eps) + float64(g) - 1)
+					if !r.Bernoulli(pPerturb) {
+						value = r.Intn(g - 1)
+						if value >= h {
+							value++
+						}
+					}
+					reports = append(reports, ldp.OLHReport{Seed: seed, Value: value, G: g})
+				}
+			}
+			malicious, err := craft(r, int64(len(reports)/19))
+			if err != nil {
+				b.Fatal(err)
+			}
+			all := append(reports, malicious...)
+			counts := make([]int64, d)
+			for _, rep := range all {
+				// Seed-faithful aggregation: one full hash (premix
+				// included — Supports cannot amortize it) per
+				// (report, item) pair.
+				for v := 0; v < d; v++ {
+					if rep.Supports(v) {
+						counts[v]++
+					}
+				}
+			}
+			if err := finish(all, counts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("batched", func(b *testing.B) {
+		scratch := &ldprecover.PerturbScratch{}
+		for i := 0; i < b.N; i++ {
+			r := ldprecover.NewRand(uint64(i) + 1)
+			reports, err := ldprecover.PerturbAllInto(proto, r, ds.Counts, scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			malicious, err := craft(r, int64(len(reports)/19))
+			if err != nil {
+				b.Fatal(err)
+			}
+			all := append(reports, malicious...)
+			acc, err := ldprecover.NewAccumulator(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := acc.AddBatch(all); err != nil {
+				b.Fatal(err)
+			}
+			if err := finish(all, acc.Counts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("sharded", func(b *testing.B) {
+		scratch := &ldprecover.PerturbScratch{}
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			r := ldprecover.NewRand(uint64(i) + 1)
+			reports, err := ldprecover.PerturbAllInto(proto, r, ds.Counts, scratch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			malicious, err := craft(r, int64(len(reports)/19))
+			if err != nil {
+				b.Fatal(err)
+			}
+			all := append(reports, malicious...)
+			sa, err := ldprecover.NewShardedAccumulator(d, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			chunk := (len(all) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > len(all) {
+					hi = len(all)
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(part []ldprecover.Report) {
+					defer wg.Done()
+					if err := sa.AddBatch(part); err != nil {
+						b.Error(err)
+					}
+				}(all[lo:hi])
+			}
+			wg.Wait()
+			if err := finish(all, sa.Counts()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkExtensionHarmony regenerates the Harmony mean-recovery table.
@@ -287,10 +412,14 @@ func ingestWorkload(b *testing.B) (ldprecover.Protocol, []int64, []ldprecover.Re
 	return s.proto, s.trueCounts, s.reports
 }
 
-// BenchmarkShardedIngest compares the three server-side aggregation
-// paths on the same >=10^6-report workload:
+// BenchmarkShardedIngest compares the server-side aggregation paths on
+// the same >=10^6-report workload:
 //
-//   - sequential-reports: the report-level baseline, one Accumulator;
+//   - sequential-reports: the report-level baseline ("before"), one
+//     Accumulator fed one report at a time through the interface;
+//   - batched-reports: the same single core fed through
+//     Accumulator.AddBatch's bit-plane fast path ("after" — the
+//     report-level speedup the batched ingest contributes on its own);
 //   - sharded-reports: concurrent chunked ingest through
 //     ShardedAccumulator.AddBatch from GOMAXPROCS goroutines;
 //   - batch-counts: the batch perturbation fast path, which never
@@ -308,6 +437,21 @@ func BenchmarkShardedIngest(b *testing.B) {
 				if err := acc.Add(rep); err != nil {
 					b.Fatal(err)
 				}
+			}
+			if acc.Total() != int64(len(reports)) {
+				b.Fatal("lost reports")
+			}
+		}
+	})
+
+	b.Run("batched-reports", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc, err := ldprecover.NewAccumulator(ingestDomain)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := acc.AddBatch(reports); err != nil {
+				b.Fatal(err)
 			}
 			if acc.Total() != int64(len(reports)) {
 				b.Fatal("lost reports")

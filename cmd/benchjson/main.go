@@ -1,0 +1,161 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON report, so CI can archive per-commit benchmark
+// trajectories (ns/op plus the recovery-quality metrics the benchmarks
+// emit via b.ReportMetric, e.g. mse-after and fg-after).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson -o BENCH_report.json
+//
+// Reading stdin and writing stdout are the defaults; non-benchmark lines
+// (test summaries, package headers) pass through unparsed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark's full printed name, including sub-benchmark
+	// path and Go's GOMAXPROCS suffix when present.
+	Name string `json:"name"`
+	// Runs is the measured iteration count (b.N).
+	Runs int64 `json:"runs"`
+	// NsPerOp is the headline latency.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every further "value unit" pair on the line: B/op,
+	// allocs/op, and custom b.ReportMetric outputs such as mse-after.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Packages   []string    `json:"packages,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one benchmark result line, returning ok=false for
+// anything that is not one.
+func parseLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// Name, N, then (value, unit) pairs: at least "Name N value ns/op".
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = val
+			seen = true
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = make(map[string]float64)
+		}
+		b.Metrics[unit] = val
+	}
+	if !seen {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// parse consumes full `go test -bench` output.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Packages = append(rep.Packages, strings.TrimPrefix(line, "pkg: "))
+		default:
+			if b, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func run(in io.Reader, out io.Writer) error {
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [bench-output.txt]")
+		os.Exit(2)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	if err := run(in, out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: ldprecover
+cpu: Example CPU @ 3.00GHz
+BenchmarkShardedIngest/sequential-reports-8         	       5	  75471791 ns/op
+BenchmarkShardedIngest/batched-reports-8            	       5	  10938629 ns/op
+BenchmarkRecoveryQuality_MGA_OUE 	       1	 212962964 ns/op	         0.04507 fg-after	         0.9323 fg-before	         0.0001805 mse-after	         0.004276 mse-before	         0.0001608 mse-star
+BenchmarkPerturbOUE-8   	  705834	      1690 ns/op
+PASS
+ok  	ldprecover	5.047s
+?   	ldprecover/cmd/datagen	[no test files]
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" {
+		t.Fatalf("metadata wrong: %+v", rep)
+	}
+	if len(rep.Packages) != 1 || rep.Packages[0] != "ldprecover" {
+		t.Fatalf("packages wrong: %v", rep.Packages)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Name != "BenchmarkShardedIngest/sequential-reports-8" || b0.Runs != 5 || b0.NsPerOp != 75471791 {
+		t.Fatalf("first benchmark wrong: %+v", b0)
+	}
+	q := rep.Benchmarks[2]
+	if q.NsPerOp != 212962964 {
+		t.Fatalf("quality ns/op wrong: %+v", q)
+	}
+	if q.Metrics["mse-after"] != 0.0001805 || q.Metrics["fg-after"] != 0.04507 {
+		t.Fatalf("quality metrics wrong: %+v", q.Metrics)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	rep, err := parse(strings.NewReader("hello\nBenchmarkBroken 12 nonsense ns/op\nok pkg 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("garbage parsed as benchmarks: %+v", rep.Benchmarks)
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("round trip lost benchmarks: %d", len(rep.Benchmarks))
+	}
+}
+
+func TestRunRejectsEmpty(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("nothing here\n"), &out); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -149,8 +149,10 @@ func (a *MGA) searchOLHReport(r *rng.Rand, olh *ldp.OLH) ldp.OLHReport {
 		for i := range hist {
 			hist[i] = 0
 		}
+		// Premix once per candidate seed; the per-target stage is cheap.
+		pre := olh.Hasher(seed)
 		for _, t := range a.targets {
-			hist[olh.Hash(seed, t)]++
+			hist[pre.ToRange(uint64(t), g)]++
 		}
 		for v, c := range hist {
 			if c > bestCover {

@@ -136,7 +136,11 @@ type Scenario struct {
 	// the Detection baseline requires. Count-level simulation is used
 	// otherwise.
 	ReportLevel bool
-	// RunDetection includes the Detection baseline (implies ReportLevel).
+	// RunDetection includes the Detection baseline. Detection consumes
+	// individual reports, so it requires ReportLevel: withDefaults turns
+	// it on automatically (the count-level path materializes no reports
+	// for Detection to filter), and validate() rejects the raw
+	// combination as a backstop should that defaulting ever change.
 	RunDetection bool
 	// RunKMeans includes the k-means defense and LDPRecover-KM with
 	// subset sample rate Xi (count-level).
@@ -198,6 +202,13 @@ func (s Scenario) validate() error {
 	}
 	if s.Trials < 1 {
 		return fmt.Errorf("experiment: trials %d < 1", s.Trials)
+	}
+	// Unreachable through Run (withDefaults force-enables ReportLevel
+	// first): a backstop pinning the invariant that Detection never
+	// silently runs over the report-free count-level path.
+	if s.RunDetection && !s.ReportLevel {
+		return fmt.Errorf("experiment: RunDetection requires ReportLevel " +
+			"(the count-level fast path materializes no reports for Detection to filter)")
 	}
 	return nil
 }

@@ -58,37 +58,50 @@ var figure3Combos = []struct {
 	{AAAttack, OLH},
 }
 
+// Every figure generator builds its whole scenario grid first, evaluates
+// all cells concurrently through runGrid, then assembles the tables from
+// the finished metrics in grid order — the output is bit-identical to
+// the former sequential sweep, only the wall clock changes.
+
 // Figure3 regenerates Fig. 3: MSE of Before recovery / Detection /
 // LDPRecover / LDPRecover* across attacks and protocols, one table per
 // dataset.
 func Figure3(cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
-	var tables []*Table
-	for _, dsb := range []struct {
-		name string
-		get  func() (*dataset.Dataset, error)
-	}{{"IPUMS", cfg.ipums}, {"Fire", cfg.fire}} {
-		ds, err := dsb.get()
-		if err != nil {
-			return nil, err
+	dss, err := bothDatasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var cells []*gridCell
+	for _, dsb := range dss {
+		for _, combo := range figure3Combos {
+			cells = append(cells, &gridCell{
+				tag: fmt.Sprintf("fig3 %s-%s", combo.Attack, combo.Protocol),
+				scn: Scenario{
+					Dataset:      dsb.ds,
+					Protocol:     combo.Protocol,
+					Attack:       combo.Attack,
+					Trials:       cfg.Trials,
+					Seed:         cfg.Seed,
+					Workers:      cfg.Workers,
+					RunDetection: true,
+				},
+			})
 		}
+	}
+	if err := runGrid(cells); err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	i := 0
+	for _, dsb := range dss {
 		t := &Table{
 			Title:  fmt.Sprintf("Figure 3 (%s): MSE by attack and method", dsb.name),
 			Header: []string{"attack", "before", "detection", "ldprecover", "ldprecover*"},
 		}
 		for _, combo := range figure3Combos {
-			m, err := Run(Scenario{
-				Dataset:      ds,
-				Protocol:     combo.Protocol,
-				Attack:       combo.Attack,
-				Trials:       cfg.Trials,
-				Seed:         cfg.Seed,
-				Workers:      cfg.Workers,
-				RunDetection: true,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig3 %s-%s: %w", combo.Attack, combo.Protocol, err)
-			}
+			m := cells[i].m
+			i++
 			t.AddRow(
 				fmt.Sprintf("%s-%s", combo.Attack, combo.Protocol),
 				sci(m.MSEBefore), sci(m.MSEDetect), sci(m.MSEAfter), sci(m.MSEStar),
@@ -99,36 +112,62 @@ func Figure3(cfg Config) ([]*Table, error) {
 	return tables, nil
 }
 
+// namedDataset pairs a dataset with its display name.
+type namedDataset struct {
+	name string
+	ds   *dataset.Dataset
+}
+
+func bothDatasets(cfg Config) ([]namedDataset, error) {
+	ipums, err := cfg.ipums()
+	if err != nil {
+		return nil, err
+	}
+	fire, err := cfg.fire()
+	if err != nil {
+		return nil, err
+	}
+	return []namedDataset{{"IPUMS", ipums}, {"Fire", fire}}, nil
+}
+
 // Figure4 regenerates Fig. 4: frequency gain of MGA per protocol and
 // method, one table per dataset.
 func Figure4(cfg Config) ([]*Table, error) {
 	cfg = cfg.withDefaults()
-	var tables []*Table
-	for _, dsb := range []struct {
-		name string
-		get  func() (*dataset.Dataset, error)
-	}{{"IPUMS", cfg.ipums}, {"Fire", cfg.fire}} {
-		ds, err := dsb.get()
-		if err != nil {
-			return nil, err
+	dss, err := bothDatasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var cells []*gridCell
+	for _, dsb := range dss {
+		for _, proto := range AllProtocols {
+			cells = append(cells, &gridCell{
+				tag: fmt.Sprintf("fig4 MGA-%s", proto),
+				scn: Scenario{
+					Dataset:      dsb.ds,
+					Protocol:     proto,
+					Attack:       MGAAttack,
+					Trials:       cfg.Trials,
+					Seed:         cfg.Seed,
+					Workers:      cfg.Workers,
+					RunDetection: true,
+				},
+			})
 		}
+	}
+	if err := runGrid(cells); err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	i := 0
+	for _, dsb := range dss {
 		t := &Table{
 			Title:  fmt.Sprintf("Figure 4 (%s): frequency gain (FG) under MGA", dsb.name),
 			Header: []string{"protocol", "before", "detection", "ldprecover", "ldprecover*"},
 		}
 		for _, proto := range AllProtocols {
-			m, err := Run(Scenario{
-				Dataset:      ds,
-				Protocol:     proto,
-				Attack:       MGAAttack,
-				Trials:       cfg.Trials,
-				Seed:         cfg.Seed,
-				Workers:      cfg.Workers,
-				RunDetection: true,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig4 MGA-%s: %w", proto, err)
-			}
+			m := cells[i].m
+			i++
 			t.AddRow(
 				fmt.Sprintf("MGA-%s", proto),
 				fixed(m.FGBefore), fixed(m.FGDetect), fixed(m.FGAfter), fixed(m.FGStar),
@@ -158,8 +197,8 @@ func parameterSweep(cfg Config, ds *dataset.Dataset, dsName, param string, value
 			"OUE-before", "OUE-rec", "OUE-rec*",
 			"OLH-before", "OLH-rec", "OLH-rec*"},
 	}
+	var cells []*gridCell
 	for _, val := range values {
-		row := []string{fmt.Sprintf("%g", val)}
 		for _, proto := range AllProtocols {
 			s := Scenario{
 				Dataset:  ds,
@@ -179,10 +218,21 @@ func parameterSweep(cfg Config, ds *dataset.Dataset, dsName, param string, value
 			default:
 				return nil, fmt.Errorf("experiment: unknown sweep parameter %q", param)
 			}
-			m, err := Run(s)
-			if err != nil {
-				return nil, fmt.Errorf("sweep %s=%v %s: %w", param, val, proto, err)
-			}
+			cells = append(cells, &gridCell{
+				tag: fmt.Sprintf("sweep %s=%v %s", param, val, proto),
+				scn: s,
+			})
+		}
+	}
+	if err := runGrid(cells); err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, val := range values {
+		row := []string{fmt.Sprintf("%g", val)}
+		for range AllProtocols {
+			m := cells[i].m
+			i++
 			row = append(row, sci(m.MSEBefore), sci(m.MSEAfter), sci(m.MSEStar))
 		}
 		t.AddRow(row...)
@@ -241,21 +291,32 @@ func Figure7(cfg Config) ([]*Table, error) {
 			"OUE-ldprecover", "OUE-ldprecover*",
 			"OLH-ldprecover", "OLH-ldprecover*"},
 	}
+	var cells []*gridCell
+	for _, beta := range beta2Sweep {
+		for _, proto := range AllProtocols {
+			cells = append(cells, &gridCell{
+				tag: fmt.Sprintf("fig7 beta=%v %s", beta, proto),
+				scn: Scenario{
+					Dataset:  ds,
+					Protocol: proto,
+					Attack:   MGAAttack,
+					Beta:     beta,
+					Trials:   cfg.Trials,
+					Seed:     cfg.Seed,
+					Workers:  cfg.Workers,
+				},
+			})
+		}
+	}
+	if err := runGrid(cells); err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, beta := range beta2Sweep {
 		row := []string{fmt.Sprintf("%g", beta)}
-		for _, proto := range AllProtocols {
-			m, err := Run(Scenario{
-				Dataset:  ds,
-				Protocol: proto,
-				Attack:   MGAAttack,
-				Beta:     beta,
-				Trials:   cfg.Trials,
-				Seed:     cfg.Seed,
-				Workers:  cfg.Workers,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig7 beta=%v %s: %w", beta, proto, err)
-			}
+		for range AllProtocols {
+			m := cells[i].m
+			i++
 			row = append(row, sci(m.MSEMalNK), sci(m.MSEMalPK))
 		}
 		t.AddRow(row...)
@@ -281,21 +342,33 @@ func TableI(cfg Config) ([]*Table, error) {
 			"IPUMS-before-rec", "IPUMS-after-rec",
 			"Fire-before-rec", "Fire-after-rec"},
 	}
+	dss := []*dataset.Dataset{ipums, fire}
+	var cells []*gridCell
+	for _, proto := range AllProtocols {
+		for _, ds := range dss {
+			cells = append(cells, &gridCell{
+				tag: fmt.Sprintf("table1 %s %s", proto, ds.Name),
+				scn: Scenario{
+					Dataset:  ds,
+					Protocol: proto,
+					Attack:   NoAttack,
+					Beta:     0,
+					Trials:   cfg.Trials,
+					Seed:     cfg.Seed,
+					Workers:  cfg.Workers,
+				},
+			})
+		}
+	}
+	if err := runGrid(cells); err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, proto := range AllProtocols {
 		row := []string{proto.String()}
-		for _, ds := range []*dataset.Dataset{ipums, fire} {
-			m, err := Run(Scenario{
-				Dataset:  ds,
-				Protocol: proto,
-				Attack:   NoAttack,
-				Beta:     0,
-				Trials:   cfg.Trials,
-				Seed:     cfg.Seed,
-				Workers:  cfg.Workers,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("table1 %s %s: %w", proto, ds.Name, err)
-			}
+		for range dss {
+			m := cells[i].m
+			i++
 			row = append(row, sci(m.MSEGenuine), sci(m.MSEAfter))
 		}
 		t.AddRow(row...)
@@ -318,27 +391,39 @@ func Figure8(cfg Config) ([]*Table, error) {
 			"OUE-mga", "OUE-mga-ipa",
 			"OLH-mga", "OLH-mga-ipa"},
 	}
+	attacks := []AttackKind{MGAAttack, MGAIPAAttack}
+	var cells []*gridCell
+	for _, beta := range beta2Sweep {
+		for _, proto := range AllProtocols {
+			for _, atk := range attacks {
+				cells = append(cells, &gridCell{
+					tag: fmt.Sprintf("fig8 beta=%v %s %s", beta, atk, proto),
+					scn: Scenario{
+						Dataset:      ds,
+						Protocol:     proto,
+						Attack:       atk,
+						Beta:         beta,
+						Trials:       cfg.Trials,
+						Seed:         cfg.Seed,
+						Workers:      cfg.Workers,
+						SkipRecovery: true,
+					},
+				})
+			}
+		}
+	}
+	if err := runGrid(cells); err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, beta := range beta2Sweep {
 		row := []string{fmt.Sprintf("%g", beta)}
-		for _, proto := range AllProtocols {
-			var cells []string
-			for _, atk := range []AttackKind{MGAAttack, MGAIPAAttack} {
-				m, err := Run(Scenario{
-					Dataset:      ds,
-					Protocol:     proto,
-					Attack:       atk,
-					Beta:         beta,
-					Trials:       cfg.Trials,
-					Seed:         cfg.Seed,
-					Workers:      cfg.Workers,
-					SkipRecovery: true,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("fig8 beta=%v %s %s: %w", beta, atk, proto, err)
-				}
-				cells = append(cells, sci(m.MSEBefore))
+		for range AllProtocols {
+			for range attacks {
+				m := cells[i].m
+				i++
+				row = append(row, sci(m.MSEBefore))
 			}
-			row = append(row, cells...)
 		}
 		t.AddRow(row...)
 	}
@@ -360,23 +445,34 @@ func Figure9(cfg Config) ([]*Table, error) {
 			"OUE-before", "OUE-kmeans", "OUE-ldprecover-km",
 			"OLH-before", "OLH-kmeans", "OLH-ldprecover-km"},
 	}
+	var cells []*gridCell
+	for _, xi := range xiSweep {
+		for _, proto := range AllProtocols {
+			cells = append(cells, &gridCell{
+				tag: fmt.Sprintf("fig9 xi=%v %s", xi, proto),
+				scn: Scenario{
+					Dataset:      ds,
+					Protocol:     proto,
+					Attack:       MGAIPAAttack,
+					Trials:       cfg.Trials,
+					Seed:         cfg.Seed,
+					Workers:      cfg.Workers,
+					RunKMeans:    true,
+					Xi:           xi,
+					SkipRecovery: true,
+				},
+			})
+		}
+	}
+	if err := runGrid(cells); err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, xi := range xiSweep {
 		row := []string{fmt.Sprintf("%g", xi)}
-		for _, proto := range AllProtocols {
-			m, err := Run(Scenario{
-				Dataset:      ds,
-				Protocol:     proto,
-				Attack:       MGAIPAAttack,
-				Trials:       cfg.Trials,
-				Seed:         cfg.Seed,
-				Workers:      cfg.Workers,
-				RunKMeans:    true,
-				Xi:           xi,
-				SkipRecovery: true,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig9 xi=%v %s: %w", xi, proto, err)
-			}
+		for range AllProtocols {
+			m := cells[i].m
+			i++
 			row = append(row, sci(m.MSEBefore), sci(m.MSEKMeans), sci(m.MSEKM))
 		}
 		t.AddRow(row...)
@@ -399,21 +495,32 @@ func Figure10(cfg Config) ([]*Table, error) {
 			"OUE-before", "OUE-ldprecover",
 			"OLH-before", "OLH-ldprecover"},
 	}
+	var cells []*gridCell
+	for _, beta := range beta2Sweep {
+		for _, proto := range AllProtocols {
+			cells = append(cells, &gridCell{
+				tag: fmt.Sprintf("fig10 beta=%v %s", beta, proto),
+				scn: Scenario{
+					Dataset:  ds,
+					Protocol: proto,
+					Attack:   MultiAAAttack,
+					Beta:     beta,
+					Trials:   cfg.Trials,
+					Seed:     cfg.Seed,
+					Workers:  cfg.Workers,
+				},
+			})
+		}
+	}
+	if err := runGrid(cells); err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, beta := range beta2Sweep {
 		row := []string{fmt.Sprintf("%g", beta)}
-		for _, proto := range AllProtocols {
-			m, err := Run(Scenario{
-				Dataset:  ds,
-				Protocol: proto,
-				Attack:   MultiAAAttack,
-				Beta:     beta,
-				Trials:   cfg.Trials,
-				Seed:     cfg.Seed,
-				Workers:  cfg.Workers,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig10 beta=%v %s: %w", beta, proto, err)
-			}
+		for range AllProtocols {
+			m := cells[i].m
+			i++
 			row = append(row, sci(m.MSEBefore), sci(m.MSEAfter))
 		}
 		t.AddRow(row...)

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunGridMatchesSequential: cell-level parallelism must not change a
+// single digit of any figure — every cell is seeded independently, so
+// the grid's output is schedule-invariant.
+func TestRunGridMatchesSequential(t *testing.T) {
+	ds := testDataset(t)
+	mk := func(seed uint64, proto ProtocolKind) Scenario {
+		return Scenario{
+			Dataset:  ds,
+			Protocol: proto,
+			Attack:   MGAAttack,
+			Trials:   2,
+			Seed:     seed,
+		}
+	}
+	var cells []*gridCell
+	for i := 0; i < 6; i++ {
+		cells = append(cells, &gridCell{
+			tag: "grid-test",
+			scn: mk(uint64(i+1), AllProtocols[i%len(AllProtocols)]),
+		})
+	}
+	if err := runGrid(cells); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		want, err := Run(c.scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.m == nil {
+			t.Fatalf("cell %d has no metrics", i)
+		}
+		if c.m.MSEBefore != want.MSEBefore || c.m.MSEAfter != want.MSEAfter ||
+			c.m.FGBefore != want.FGBefore {
+			t.Fatalf("cell %d diverged from sequential Run: %+v vs %+v", i, c.m, want)
+		}
+	}
+}
+
+// TestRunGridPropagatesError: a failing cell surfaces with its tag.
+func TestRunGridPropagatesError(t *testing.T) {
+	cells := []*gridCell{
+		{tag: "good", scn: Scenario{Dataset: testDataset(t), Protocol: GRR, Trials: 1, Seed: 1}},
+		{tag: "bad-cell", scn: Scenario{ /* no dataset */ }},
+	}
+	err := runGrid(cells)
+	if err == nil {
+		t.Fatal("invalid cell did not fail the grid")
+	}
+	if !strings.Contains(err.Error(), "bad-cell") {
+		t.Fatalf("error lost its cell tag: %v", err)
+	}
+}
+
+// TestValidateRejectsDetectionWithoutReports pins the footgun fix: the
+// count-level path materializes no reports, so Detection over it must be
+// rejected, not silently fed nothing.
+func TestValidateRejectsDetectionWithoutReports(t *testing.T) {
+	s := Scenario{
+		Dataset:      testDataset(t),
+		Attack:       MGAAttack,
+		RunDetection: true,
+		Trials:       1,
+	}
+	// Direct validation (as a runTrial caller would hit it): the
+	// combination must be rejected before any simulation runs.
+	s = s.withDefaults()
+	s.ReportLevel = false
+	if err := s.validate(); err == nil {
+		t.Fatal("RunDetection without ReportLevel validated")
+	}
+	// The public path auto-forces report-level simulation instead.
+	forced := Scenario{
+		Dataset:      testDataset(t),
+		Attack:       MGAAttack,
+		RunDetection: true,
+		Trials:       1,
+		Seed:         3,
+	}
+	m, err := Run(forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.HasDetect {
+		t.Fatal("detection metrics missing from auto-forced report-level run")
+	}
+}

@@ -149,6 +149,10 @@ func (s Scenario) runTrial(trial int) (*Metrics, error) {
 	var genCounts, malCounts []int64
 	var allReports []ldp.Report
 	if s.ReportLevel {
+		// PerturbAll rides the arena-backed bulk path and CountSupports
+		// the type-specialized batch aggregation, so the exact
+		// report-level trial stays within a small constant of the
+		// count-level fast path.
 		genReports, err := ldp.PerturbAll(proto, r, s.Dataset.Counts)
 		if err != nil {
 			return nil, err
@@ -274,6 +278,9 @@ func (s Scenario) runTrial(trial int) (*Metrics, error) {
 	}
 
 	// --- Detection baseline. ---
+	// allReports is always populated here: RunDetection forces
+	// ReportLevel in withDefaults, and validate() backstops the raw
+	// combination.
 	if s.RunDetection && starTargets != nil {
 		det, err := detect.Detection(allReports, starTargets, pr, detect.AnyTarget)
 		if err != nil {

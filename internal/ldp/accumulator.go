@@ -14,6 +14,10 @@ import (
 type Accumulator struct {
 	counts []int64
 	total  int64
+	// scratch is the reusable state behind AddBatch's type-specialized
+	// fast paths (bit-plane counters, premixed OLH descriptors); it is
+	// lazily grown and never shared across accumulators.
+	scratch batchScratch
 }
 
 // NewAccumulator returns an empty accumulator over a domain of size d.

@@ -3,8 +3,6 @@ package ldp
 import (
 	"errors"
 	"fmt"
-
-	"ldprecover/internal/rng"
 )
 
 func errLenMismatch(got, want int) error {
@@ -20,19 +18,20 @@ func errInvalidG(g int) error {
 }
 
 // CountSupports aggregates raw support counts C(v) (Eq. 12) from reports
-// over a domain of size d.
+// over a domain of size d, through the same type-specialized batch fast
+// paths as Accumulator.AddBatch.
 func CountSupports(reports []Report, d int) ([]int64, error) {
 	if d < 1 {
 		return nil, errors.New("ldp: non-positive domain")
 	}
-	counts := make([]int64, d)
 	for i, rep := range reports {
 		if rep == nil {
 			return nil, fmt.Errorf("ldp: nil report at index %d", i)
 		}
-		rep.AddSupports(counts)
 	}
-	return counts, nil
+	acc := Accumulator{counts: make([]int64, d)}
+	acc.addBatch(reports)
+	return acc.counts, nil
 }
 
 // Unbias transforms raw support counts into unbiased frequency estimates
@@ -86,36 +85,4 @@ func EstimateFrequencies(reports []Report, pr Params) ([]float64, error) {
 		return nil, err
 	}
 	return Unbias(counts, int64(len(reports)), pr)
-}
-
-// PerturbAll perturbs a whole population described by per-item true
-// counts, returning one report per user (report-level exact simulation).
-// Report order is deterministic given the generator state: users are
-// processed item by item.
-func PerturbAll(p Protocol, r *rng.Rand, trueCounts []int64) ([]Report, error) {
-	if r == nil {
-		return nil, ErrNilRand
-	}
-	d := p.Params().Domain
-	if len(trueCounts) != d {
-		return nil, errLenMismatch(len(trueCounts), d)
-	}
-	var n int64
-	for u, c := range trueCounts {
-		if c < 0 {
-			return nil, errNegCount(u, c)
-		}
-		n += c
-	}
-	reports := make([]Report, 0, n)
-	for v, c := range trueCounts {
-		for i := int64(0); i < c; i++ {
-			rep, err := p.Perturb(r, v)
-			if err != nil {
-				return nil, err
-			}
-			reports = append(reports, rep)
-		}
-	}
-	return reports, nil
 }

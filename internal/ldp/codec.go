@@ -11,25 +11,50 @@ import (
 // library can exchange perturbed data. Layout (little endian):
 //
 //	byte 0:   format version (currently 1)
-//	byte 1:   protocol tag (GRR=1, unary=2, OLH=3)
+//	byte 1:   protocol tag (GRR=1, unary=2, sparse unary=4, OLH=5)
 //	payload:  tag-specific fixed-width fields
 //
-// GRR:   uint32 value
-// unary: uint32 bit count, then ceil(n/64) uint64 words (OUE and SUE)
-// OLH:   uint64 seed, uint32 value, uint32 g
+//	GRR:    uint32 value
+//	unary:  uint32 bit count, then ceil(n/64) uint64 words
+//	        (OUE and SUE, dense representation)
+//	OLH:    uint64 seed, uint32 value, uint32 g
+//	sparse: uint32 bit count, uint32 support count, then that many
+//	        uint32 strictly-increasing set positions (OUE and SUE;
+//	        smaller on the wire whenever supports < n/64)
+//
+// An OLH report's bytes only mean something relative to the hash family
+// that produced its value, so the OLH tag encodes the family: tag 3 is
+// the retired single-stage v1 family and is REJECTED on decode (decoding
+// it as v2 would silently turn every estimate into noise — the true
+// item's support probability collapses from p to ~1/g); tag 5 is the
+// current two-stage (hashx.Premixed) family.
 const (
 	codecVersion = 1
 
-	tagGRR   = 1
-	tagUnary = 2
-	tagOLH   = 3
+	tagGRR    = 1
+	tagUnary  = 2
+	tagOLHV1  = 3
+	tagSparse = 4
+	tagOLH    = 5
 )
 
 // ErrCodec wraps all report (de)serialization failures.
 var ErrCodec = errors.New("ldp: report codec")
 
-// MarshalReport serializes a report to its wire format.
+// MarshalReport serializes a report to its wire format. Arena-backed
+// reports (the pointer boxings PerturbAllInto produces) serialize
+// identically to their value forms.
 func MarshalReport(rep Report) ([]byte, error) {
+	switch r := rep.(type) {
+	case *GRRReport:
+		return MarshalReport(*r)
+	case *OUEReport:
+		return MarshalReport(*r)
+	case *OLHReport:
+		return MarshalReport(*r)
+	case *SparseUnaryReport:
+		return MarshalReport(*r)
+	}
 	switch r := rep.(type) {
 	case GRRReport:
 		if r < 0 || int64(r) > math.MaxUint32 {
@@ -61,6 +86,27 @@ func MarshalReport(rep Report) ([]byte, error) {
 		binary.LittleEndian.PutUint64(buf[2:], r.Seed)
 		binary.LittleEndian.PutUint32(buf[10:], uint32(r.Value))
 		binary.LittleEndian.PutUint32(buf[14:], uint32(r.G))
+		return buf, nil
+	case SparseUnaryReport:
+		// Same 1<<26 cap the decoder enforces, so anything we write can
+		// be read back.
+		if r.N <= 0 || r.N > 1<<26 {
+			return nil, fmt.Errorf("%w: sparse unary bit count %d out of range", ErrCodec, r.N)
+		}
+		prev := int32(-1)
+		for _, v := range r.Items {
+			if v <= prev || int(v) >= r.N {
+				return nil, fmt.Errorf("%w: sparse unary support %d out of order or range", ErrCodec, v)
+			}
+			prev = v
+		}
+		buf := make([]byte, 2+4+4+4*len(r.Items))
+		buf[0], buf[1] = codecVersion, tagSparse
+		binary.LittleEndian.PutUint32(buf[2:], uint32(r.N))
+		binary.LittleEndian.PutUint32(buf[6:], uint32(len(r.Items)))
+		for i, v := range r.Items {
+			binary.LittleEndian.PutUint32(buf[10+4*i:], uint32(v))
+		}
 		return buf, nil
 	default:
 		return nil, fmt.Errorf("%w: unsupported report type %T", ErrCodec, rep)
@@ -109,6 +155,9 @@ func UnmarshalReport(data []byte) (Report, error) {
 			}
 		}
 		return OUEReport{Bits: bits}, nil
+	case tagOLHV1:
+		return nil, fmt.Errorf("%w: OLH report uses the retired v1 hash family; "+
+			"its hash values cannot be interpreted by the current two-stage family — re-collect the report", ErrCodec)
 	case tagOLH:
 		if len(payload) != 16 {
 			return nil, fmt.Errorf("%w: OLH payload %d bytes, want 16", ErrCodec, len(payload))
@@ -120,6 +169,30 @@ func UnmarshalReport(data []byte) (Report, error) {
 			return nil, fmt.Errorf("%w: invalid OLH fields g=%d value=%d", ErrCodec, g, value)
 		}
 		return OLHReport{Seed: seed, Value: value, G: g}, nil
+	case tagSparse:
+		if len(payload) < 8 {
+			return nil, fmt.Errorf("%w: sparse unary payload too short", ErrCodec)
+		}
+		n := int(binary.LittleEndian.Uint32(payload))
+		const maxBits = 1 << 26 // matches the dense unary cap
+		if n <= 0 || n > maxBits {
+			return nil, fmt.Errorf("%w: sparse unary bit count %d out of range", ErrCodec, n)
+		}
+		k := int(binary.LittleEndian.Uint32(payload[4:]))
+		if k > n || len(payload) != 8+4*k {
+			return nil, fmt.Errorf("%w: sparse unary payload %d bytes for %d supports", ErrCodec, len(payload), k)
+		}
+		items := make([]int32, k)
+		prev := int32(-1)
+		for i := range items {
+			v := binary.LittleEndian.Uint32(payload[8+4*i:])
+			if int64(v) >= int64(n) || int32(v) <= prev {
+				return nil, fmt.Errorf("%w: sparse unary support %d out of order or range", ErrCodec, v)
+			}
+			items[i] = int32(v)
+			prev = int32(v)
+		}
+		return SparseUnaryReport{N: n, Items: items}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown tag %d", ErrCodec, data[1])
 	}

@@ -12,6 +12,9 @@ import (
 // q = 1/(d-1+e^ε).
 type GRR struct {
 	params Params
+	// pFix is the fixed-point keep threshold, hoisted to construction so
+	// the per-report hot path is one uint64 compare.
+	pFix uint64
 }
 
 // NewGRR constructs a GRR protocol over a domain of size d with privacy
@@ -27,7 +30,7 @@ func NewGRR(d int, epsilon float64) (*GRR, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
-	return &GRR{params: pr}, nil
+	return &GRR{params: pr, pFix: rng.FixedProb(pr.P)}, nil
 }
 
 // Name implements Protocol.
@@ -58,15 +61,21 @@ func (g *GRR) Perturb(r *rng.Rand, v int) (Report, error) {
 	if err := checkItem(v, g.params.Domain); err != nil {
 		return nil, err
 	}
-	if r.Bernoulli(g.params.P) {
-		return GRRReport(v), nil
+	return g.perturbGRR(r, v), nil
+}
+
+// perturbGRR is Perturb's unboxed core, shared with PerturbAllInto.
+// Inputs are assumed validated.
+func (g *GRR) perturbGRR(r *rng.Rand, v int) GRRReport {
+	if r.BernoulliU64(g.pFix) {
+		return GRRReport(v)
 	}
 	// Uniform over the d-1 other items.
 	other := r.Intn(g.params.Domain - 1)
 	if other >= v {
 		other++
 	}
-	return GRRReport(other), nil
+	return GRRReport(other)
 }
 
 // CraftSupport implements Protocol: for GRR the attacker simply submits

@@ -18,7 +18,12 @@ import (
 type OLH struct {
 	params   Params
 	perturbQ float64
-	name     string
+	// perturbPFix is the fixed-point threshold for the internal GRR keep
+	// probability p' = e^ε/(e^ε+g-1) (numerically equal to params.P),
+	// hoisted to construction so Perturb's hot path does no exp/float
+	// work per report.
+	perturbPFix uint64
+	name        string
 }
 
 // NewOLH constructs an OLH protocol over a domain of size d with privacy
@@ -45,9 +50,10 @@ func NewOLHWithG(d int, epsilon float64, g int) (*OLH, error) {
 		return nil, err
 	}
 	return &OLH{
-		params:   pr,
-		perturbQ: 1 / (expE + float64(g) - 1),
-		name:     "OLH",
+		params:      pr,
+		perturbQ:    1 / (expE + float64(g) - 1),
+		perturbPFix: rng.FixedProb(pr.P),
+		name:        "OLH",
 	}, nil
 }
 
@@ -79,9 +85,17 @@ func (o *OLH) PerturbQ() float64 { return o.perturbQ }
 
 // Hash returns the hash of item v under the function indexed by seed,
 // in {0,...,g-1}. Exposed so targeted attacks (MGA) can search for seeds
-// that collide target items, exactly as the original attack does.
+// that collide target items, exactly as the original attack does. Callers
+// hashing many items under one seed should premix once with Hasher.
 func (o *OLH) Hash(seed uint64, v int) int {
-	return hashx.HashToRange(seed, uint64(v), o.params.G)
+	return hashx.Premix(seed).ToRange(uint64(v), o.params.G)
+}
+
+// Hasher premixes seed into its hash function once, so multi-item scans
+// (aggregation, MGA's seed search) pay the seed finalization a single
+// time and the cheap per-item stage thereafter.
+func (o *OLH) Hasher(seed uint64) hashx.Premixed {
+	return hashx.Premix(seed)
 }
 
 // OLHReport is a (hash function, perturbed value) pair; it supports every
@@ -94,13 +108,16 @@ type OLHReport struct {
 
 // Supports implements Report.
 func (r OLHReport) Supports(v int) bool {
-	return hashx.HashToRange(r.Seed, uint64(v), r.G) == r.Value
+	return hashx.Premix(r.Seed).ToRange(uint64(v), r.G) == r.Value
 }
 
-// AddSupports implements Report.
+// AddSupports implements Report: the seed premix is hoisted out of the
+// item scan, so one report costs one premix plus d cheap per-item mixes
+// instead of d full hashes.
 func (r OLHReport) AddSupports(counts []int64) {
+	pre := hashx.Premix(r.Seed)
 	for v := range counts {
-		if hashx.HashToRange(r.Seed, uint64(v), r.G) == r.Value {
+		if pre.ToRange(uint64(v), r.G) == r.Value {
 			counts[v]++
 		}
 	}
@@ -114,19 +131,26 @@ func (o *OLH) Perturb(r *rng.Rand, v int) (Report, error) {
 	if err := checkItem(v, o.params.Domain); err != nil {
 		return nil, err
 	}
+	return o.perturbOLH(r, v), nil
+}
+
+// perturbOLH is Perturb's unboxed core, shared with PerturbAllInto so
+// bulk perturbation can write into a report arena without a per-report
+// interface allocation. Inputs are assumed validated.
+func (o *OLH) perturbOLH(r *rng.Rand, v int) OLHReport {
 	seed := r.Uint64()
 	h := o.Hash(seed, v)
 	g := o.params.G
 	value := h
-	// GRR over {0,...,g-1} with p' = e^ε/(e^ε+g-1).
-	pPerturb := math.Exp(o.params.Epsilon) / (math.Exp(o.params.Epsilon) + float64(g) - 1)
-	if !r.Bernoulli(pPerturb) {
+	// GRR over {0,...,g-1} with p' = e^ε/(e^ε+g-1), precomputed at
+	// construction as a fixed-point threshold.
+	if !r.BernoulliU64(o.perturbPFix) {
 		value = r.Intn(g - 1)
 		if value >= h {
 			value++
 		}
 	}
-	return OLHReport{Seed: seed, Value: value, G: g}, nil
+	return OLHReport{Seed: seed, Value: value, G: g}
 }
 
 // CraftSupport implements Protocol: the attacker picks a fresh hash seed

@@ -1,0 +1,27 @@
+package ldp
+
+import (
+	"testing"
+
+	"ldprecover/internal/rng"
+)
+
+func BenchmarkAddOLHRun(b *testing.B) {
+	const d = 102
+	olh, _ := NewOLH(d, 0.5)
+	trueCounts := make([]int64, d)
+	for v := range trueCounts {
+		trueCounts[v] = 320
+	}
+	reps, err := PerturbAll(olh, rng.New(3), trueCounts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, _ := NewAccumulator(d)
+		if err := acc.AddBatch(reps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package ldp
 
 import (
 	"math"
+	"math/bits"
 
 	"ldprecover/internal/rng"
 )
@@ -11,7 +12,8 @@ import (
 // probability p = 1/2 and every other bit is set with probability
 // q = 1/(e^ε+1).
 type OUE struct {
-	params Params
+	params  Params
+	sampler unarySampler
 }
 
 // NewOUE constructs an OUE protocol over a domain of size d with privacy
@@ -26,7 +28,7 @@ func NewOUE(d int, epsilon float64) (*OUE, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
-	return &OUE{params: pr}, nil
+	return &OUE{params: pr, sampler: newUnarySampler(d, pr.P, pr.Q)}, nil
 }
 
 // Name implements Protocol.
@@ -44,35 +46,43 @@ type OUEReport struct {
 // Supports implements Report.
 func (r OUEReport) Supports(v int) bool { return r.Bits.Get(v) }
 
-// AddSupports implements Report.
+// AddSupports implements Report: a closure-free word walk peeling set
+// bits with TrailingZeros64. The common full-domain case (counts covers
+// every word) runs with the per-bit bound check hoisted out entirely.
 func (r OUEReport) AddSupports(counts []int64) {
-	r.Bits.ForEachSet(func(i int) {
-		if i < len(counts) {
-			counts[i]++
+	words := r.Bits.words
+	if len(counts) >= len(words)*64 {
+		for wi, w := range words {
+			base := wi << 6
+			for w != 0 {
+				counts[base+bits.TrailingZeros64(w)]++
+				w &= w - 1
+			}
 		}
-	})
+		return
+	}
+	for wi, w := range words {
+		base := wi << 6
+		for w != 0 {
+			if i := base + bits.TrailingZeros64(w); i < len(counts) {
+				counts[i]++
+			}
+			w &= w - 1
+		}
+	}
 }
 
-// Perturb implements Protocol (Eq. 5).
+// Perturb implements Protocol (Eq. 5): one fixed-point compare per bit in
+// the dense regime, geometric skip-sampling of the set bits (returning a
+// SparseUnaryReport) when q is small.
 func (o *OUE) Perturb(r *rng.Rand, v int) (Report, error) {
 	if r == nil {
 		return nil, ErrNilRand
 	}
-	d := o.params.Domain
-	if err := checkItem(v, d); err != nil {
+	if err := checkItem(v, o.params.Domain); err != nil {
 		return nil, err
 	}
-	bits := NewBitset(d)
-	for i := 0; i < d; i++ {
-		p := o.params.Q
-		if i == v {
-			p = o.params.P
-		}
-		if r.Bernoulli(p) {
-			bits.Set(i)
-		}
-	}
-	return OUEReport{Bits: bits}, nil
+	return o.sampler.perturb(r, v, nil), nil
 }
 
 // CraftSupport implements Protocol: the attacker submits the clean one-hot

@@ -78,7 +78,9 @@ func (sa *ShardedAccumulator) Add(rep Report) error {
 	return nil
 }
 
-// AddBatch folds a slice of reports under a single lock acquisition; it
+// AddBatch folds a slice of reports under a single lock acquisition
+// through the accumulator's type-specialized batch fast paths (bit-plane
+// counting for dense unary runs, premixed item-major sweeps for OLH); it
 // is the preferred ingest path when reports arrive in chunks.
 func (sa *ShardedAccumulator) AddBatch(reps []Report) error {
 	for i, rep := range reps {
@@ -91,10 +93,7 @@ func (sa *ShardedAccumulator) AddBatch(reps []Report) error {
 	}
 	sh := sa.shard()
 	sh.mu.Lock()
-	for _, rep := range reps {
-		rep.AddSupports(sh.acc.counts)
-	}
-	sh.acc.total += int64(len(reps))
+	sh.acc.addBatch(reps)
 	sh.mu.Unlock()
 	return nil
 }

@@ -18,7 +18,8 @@ import (
 // the package tests and the generality experiment use it to demonstrate
 // exactly that.
 type SUE struct {
-	params Params
+	params  Params
+	sampler unarySampler
 }
 
 // NewSUE constructs an SUE protocol over a domain of size d with privacy
@@ -34,7 +35,7 @@ func NewSUE(d int, epsilon float64) (*SUE, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
-	return &SUE{params: pr}, nil
+	return &SUE{params: pr, sampler: newUnarySampler(d, pr.P, pr.Q)}, nil
 }
 
 // Name implements Protocol.
@@ -43,26 +44,17 @@ func (s *SUE) Name() string { return "SUE" }
 // Params implements Protocol.
 func (s *SUE) Params() Params { return s.params }
 
-// Perturb implements Protocol: symmetric per-bit randomized response.
+// Perturb implements Protocol: symmetric per-bit randomized response via
+// the shared unary sampler (fixed-point dense path, or skip-sampled
+// sparse reports when q is small).
 func (s *SUE) Perturb(r *rng.Rand, v int) (Report, error) {
 	if r == nil {
 		return nil, ErrNilRand
 	}
-	d := s.params.Domain
-	if err := checkItem(v, d); err != nil {
+	if err := checkItem(v, s.params.Domain); err != nil {
 		return nil, err
 	}
-	bits := NewBitset(d)
-	for i := 0; i < d; i++ {
-		p := s.params.Q
-		if i == v {
-			p = s.params.P
-		}
-		if r.Bernoulli(p) {
-			bits.Set(i)
-		}
-	}
-	return OUEReport{Bits: bits}, nil
+	return s.sampler.perturb(r, v, nil), nil
 }
 
 // CraftSupport implements Protocol: the clean one-hot vector of v.

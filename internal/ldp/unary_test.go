@@ -1,0 +1,252 @@
+package ldp
+
+import (
+	"math"
+	"testing"
+
+	"ldprecover/internal/rng"
+)
+
+// TestUnarySamplerRegimeSelection pins the density-regime switch: the
+// paper's default ε=0.5 stays dense, large-ε OUE goes sparse.
+func TestUnarySamplerRegimeSelection(t *testing.T) {
+	dense, err := NewOUE(128, 0.5) // q ≈ 0.378
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.sampler.sparse {
+		t.Fatal("ε=0.5 OUE must use the dense representation")
+	}
+	sparse, err := NewOUE(128, 4.2) // q ≈ 0.0148 < 1/32
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.sampler.sparse {
+		t.Fatal("ε=4.2 OUE must use the sparse representation")
+	}
+	rep, err := sparse.Perturb(rng.New(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.(SparseUnaryReport); !ok {
+		t.Fatalf("sparse-regime Perturb returned %T, want SparseUnaryReport", rep)
+	}
+	repD, err := dense.Perturb(rng.New(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := repD.(OUEReport); !ok {
+		t.Fatalf("dense-regime Perturb returned %T, want OUEReport", repD)
+	}
+}
+
+// TestSparseDenseBitExactSameStream is the sparse-vs-dense equivalence
+// pin: driving the sampler with the same RNG stream, the sparse report
+// and its densely materialized counterpart must be bit-identical — same
+// support set item for item, same aggregation counts, same codec bytes
+// after densification. This is what makes SparseUnaryReport and
+// OUEReport interchangeable everywhere a Report flows.
+func TestSparseDenseBitExactSameStream(t *testing.T) {
+	const d = 997 // odd, not a multiple of 64, exercises tail words
+	o, err := NewOUE(d, 4.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := rng.New(42), rng.New(42)
+	countsSparse := make([]int64, d)
+	countsDense := make([]int64, d)
+	for trial := 0; trial < 300; trial++ {
+		v := (trial * 131) % d
+		rep, err := o.Perturb(r1, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := rep.(SparseUnaryReport)
+		// Same stream, dense materialization.
+		items := o.sampler.appendSupport(r2, v, nil)
+		dense := OUEReport{Bits: SparseUnaryReport{N: d, Items: items}.Dense()}
+
+		if got, want := len(sp.Items), dense.Bits.Count(); got != want {
+			t.Fatalf("trial %d: sparse %d supports, dense %d", trial, got, want)
+		}
+		prev := int32(-1)
+		for _, it := range sp.Items {
+			if it <= prev {
+				t.Fatalf("trial %d: unsorted sparse items", trial)
+			}
+			prev = it
+			if !dense.Supports(int(it)) {
+				t.Fatalf("trial %d: dense missing item %d", trial, it)
+			}
+		}
+		for u := 0; u < d; u++ {
+			if sp.Supports(u) != dense.Supports(u) {
+				t.Fatalf("trial %d: Supports(%d) disagrees", trial, u)
+			}
+		}
+		sp.AddSupports(countsSparse)
+		dense.AddSupports(countsDense)
+	}
+	for v := range countsSparse {
+		if countsSparse[v] != countsDense[v] {
+			t.Fatalf("aggregation diverged at item %d: %d vs %d", v, countsSparse[v], countsDense[v])
+		}
+	}
+}
+
+// TestSparseDenseSamplersAgreeInDistribution forces BOTH sampling paths
+// on the same parameters and checks per-position support frequencies
+// against each other and the analytic p/q (5-sigma bounds).
+func TestSparseDenseSamplersAgreeInDistribution(t *testing.T) {
+	const d = 64
+	const v = 17
+	const trials = 40000
+	s := newUnarySampler(d, 0.5, 0.02)
+	r := rng.New(9)
+	sparseCounts := make([]int64, d)
+	denseCounts := make([]int64, d)
+	for i := 0; i < trials; i++ {
+		SparseUnaryReport{N: d, Items: s.appendSupport(r, v, nil)}.AddSupports(sparseCounts)
+		bits := NewBitset(d)
+		s.fillDense(r, v, bits)
+		OUEReport{Bits: bits}.AddSupports(denseCounts)
+	}
+	check := func(name string, counts []int64) {
+		t.Helper()
+		for u := 0; u < d; u++ {
+			want := 0.02
+			if u == v {
+				want = 0.5
+			}
+			got := float64(counts[u]) / trials
+			tol := 5 * math.Sqrt(want*(1-want)/trials)
+			if math.Abs(got-want) > tol {
+				t.Fatalf("%s: position %d frequency %v want %v ± %v", name, u, got, want, tol)
+			}
+		}
+	}
+	check("sparse", sparseCounts)
+	check("dense", denseCounts)
+}
+
+// TestSparseReportCodecRoundTrip: sparse reports survive the wire
+// type-preservingly, and re-encode to identical bytes.
+func TestSparseReportCodecRoundTrip(t *testing.T) {
+	o, err := NewSUE(300, 8) // SUE q = 1/(e^4+1) ≈ 0.018 → sparse
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.sampler.sparse {
+		t.Fatal("expected sparse regime")
+	}
+	r := rng.New(5)
+	for trial := 0; trial < 100; trial++ {
+		rep, err := o.Perturb(r, trial%300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := MarshalReport(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalReport(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, ok := back.(SparseUnaryReport)
+		if !ok {
+			t.Fatalf("round trip returned %T", back)
+		}
+		orig := rep.(SparseUnaryReport)
+		if sp.N != orig.N || len(sp.Items) != len(orig.Items) {
+			t.Fatal("round trip changed shape")
+		}
+		for i := range sp.Items {
+			if sp.Items[i] != orig.Items[i] {
+				t.Fatal("round trip changed items")
+			}
+		}
+		buf2, err := MarshalReport(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf) != string(buf2) {
+			t.Fatal("re-encoding not byte-identical")
+		}
+	}
+}
+
+func TestSparseReportCodecRejectsMalformed(t *testing.T) {
+	// Unsorted items must not marshal.
+	if _, err := MarshalReport(SparseUnaryReport{N: 10, Items: []int32{3, 1}}); err == nil {
+		t.Fatal("unsorted sparse report marshaled")
+	}
+	// Out-of-range items must not marshal.
+	if _, err := MarshalReport(SparseUnaryReport{N: 10, Items: []int32{3, 12}}); err == nil {
+		t.Fatal("out-of-range sparse report marshaled")
+	}
+	good, err := MarshalReport(SparseUnaryReport{N: 10, Items: []int32{1, 3, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the support count.
+	bad := append([]byte(nil), good...)
+	bad[6] = 99
+	if _, err := UnmarshalReport(bad); err == nil {
+		t.Fatal("corrupt support count accepted")
+	}
+	// Swap two items so they are out of order.
+	bad = append([]byte(nil), good...)
+	bad[10], bad[14] = bad[14], bad[10]
+	if _, err := UnmarshalReport(bad); err == nil {
+		t.Fatal("unsorted payload accepted")
+	}
+}
+
+// TestCodecRejectsLegacyOLHFamily: wire tag 3 carried hash values from
+// the retired v1 family; decoding them under the current two-stage
+// family would silently destroy every estimate, so the codec must
+// refuse them loudly.
+func TestCodecRejectsLegacyOLHFamily(t *testing.T) {
+	legacy := []byte{
+		1, 3, // version 1, legacy OLH tag
+		0, 0, 0, 0, 0, 0, 0, 42, // seed
+		1, 0, 0, 0, // value
+		3, 0, 0, 0, // g
+	}
+	if _, err := UnmarshalReport(legacy); err == nil {
+		t.Fatal("legacy v1-family OLH report decoded without error")
+	}
+	// Current OLH reports round-trip under the v2 tag.
+	rep := OLHReport{Seed: 42, Value: 1, G: 3}
+	buf, err := MarshalReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[1] != 5 {
+		t.Fatalf("OLH marshaled with tag %d, want 5 (v2 family)", buf[1])
+	}
+	back, err := UnmarshalReport(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.(OLHReport) != rep {
+		t.Fatalf("round trip changed report: %+v", back)
+	}
+}
+
+// TestSparseSupportsOutOfRange mirrors the dense report's contract.
+func TestSparseSupportsOutOfRange(t *testing.T) {
+	sp := SparseUnaryReport{N: 8, Items: []int32{2, 5}}
+	if sp.Supports(-1) || sp.Supports(8) || sp.Supports(3) {
+		t.Fatal("unexpected support")
+	}
+	if !sp.Supports(2) || !sp.Supports(5) {
+		t.Fatal("missing support")
+	}
+	counts := make([]int64, 4) // shorter than N: item 5 must be dropped
+	sp.AddSupports(counts)
+	if counts[2] != 1 || counts[0] != 0 || counts[1] != 0 || counts[3] != 0 {
+		t.Fatalf("AddSupports with short counts wrong: %v", counts)
+	}
+}

@@ -1,0 +1,159 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFixedProbEdges(t *testing.T) {
+	if FixedProb(0) != 0 || FixedProb(-1) != 0 {
+		t.Fatal("non-positive p must map to threshold 0")
+	}
+	if FixedProb(1) != ^uint64(0) || FixedProb(2) != ^uint64(0) {
+		t.Fatal("p >= 1 must map to the saturated threshold")
+	}
+	// Just below 1: must not overflow the float->uint64 conversion.
+	if th := FixedProb(1 - 1e-18); th < ^uint64(0)-(1<<16) {
+		t.Fatalf("p≈1 threshold %d implausibly small", th)
+	}
+	if th := FixedProb(0.5); th != 1<<63 {
+		t.Fatalf("p=0.5 threshold %d want %d", th, uint64(1)<<63)
+	}
+}
+
+func TestBernoulliU64MatchesProbability(t *testing.T) {
+	r := New(11)
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9} {
+		th := FixedProb(p)
+		const trials = 200000
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.BernoulliU64(th) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		// 5-sigma binomial bound.
+		tol := 5 * math.Sqrt(p*(1-p)/trials)
+		if math.Abs(got-p) > tol {
+			t.Fatalf("p=%v: empirical %v outside ±%v", p, got, tol)
+		}
+	}
+}
+
+func TestBernoulliU64Degenerate(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		if r.BernoulliU64(0) {
+			t.Fatal("threshold 0 returned true")
+		}
+		if !r.BernoulliU64(^uint64(0)) {
+			t.Fatal("saturated threshold returned false")
+		}
+	}
+}
+
+// TestBernoulliU64UniformConsumption: every BernoulliU64 call advances the
+// stream exactly once, regardless of threshold, so samplers built on it
+// stay draw-aligned across parameter choices.
+func TestBernoulliU64UniformConsumption(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		a.BernoulliU64(FixedProb(0.1))
+		b.BernoulliU64(^uint64(0))
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("streams diverged: BernoulliU64 consumption depends on threshold")
+	}
+}
+
+func TestGeometricSkipDistribution(t *testing.T) {
+	r := New(7)
+	for _, q := range []float64{0.02, 0.1, 0.377} {
+		inv := SkipInv(q)
+		const trials = 200000
+		var sum float64
+		for i := 0; i < trials; i++ {
+			k := r.GeometricSkip(inv)
+			if k < 0 {
+				t.Fatalf("q=%v: negative skip %d", q, k)
+			}
+			sum += float64(k)
+		}
+		mean := sum / trials
+		want := (1 - q) / q
+		// Geometric sd is sqrt(1-q)/q; 6-sigma bound on the mean.
+		tol := 6 * math.Sqrt(1-q) / q / math.Sqrt(trials)
+		if math.Abs(mean-want) > tol {
+			t.Fatalf("q=%v: mean skip %v want %v ± %v", q, mean, want, tol)
+		}
+	}
+}
+
+// TestGeometricSkipMatchesBernoulli: skipping k failures then taking a
+// success must reproduce the exact success-position distribution of a
+// sequential Bernoulli(q) scan (chi-square over the first few cells).
+func TestGeometricSkipMatchesBernoulli(t *testing.T) {
+	const q = 0.3
+	const trials = 300000
+	const cells = 10
+	inv := SkipInv(q)
+	r := New(5)
+	got := make([]float64, cells+1)
+	for i := 0; i < trials; i++ {
+		k := r.GeometricSkip(inv)
+		if k >= cells {
+			got[cells]++
+		} else {
+			got[k]++
+		}
+	}
+	var chi2 float64
+	tail := float64(trials)
+	for k := 0; k < cells; k++ {
+		exp := float64(trials) * math.Pow(1-q, float64(k)) * q
+		d := got[k] - exp
+		chi2 += d * d / exp
+		tail -= exp
+	}
+	d := got[cells] - tail
+	chi2 += d * d / tail
+	// cells dof; generous 6-sigma bound.
+	limit := float64(cells) + 6*math.Sqrt(2*float64(cells))
+	if chi2 > limit {
+		t.Fatalf("chi2 %v > %v", chi2, limit)
+	}
+}
+
+func BenchmarkBernoulliFloat(b *testing.B) {
+	r := New(1)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if r.Bernoulli(0.377) {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkBernoulliU64(b *testing.B) {
+	r := New(1)
+	th := FixedProb(0.377)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if r.BernoulliU64(th) {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkGeometricSkip(b *testing.B) {
+	r := New(1)
+	inv := SkipInv(0.02)
+	var s int64
+	for i := 0; i < b.N; i++ {
+		s += r.GeometricSkip(inv)
+	}
+	_ = s
+}

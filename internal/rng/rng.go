@@ -34,6 +34,13 @@ func splitmix64(state *uint64) uint64 {
 // New returns a generator deterministically derived from seed.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets r in place to the state New(seed) would produce, letting
+// steady-state loops restart a stream without allocating a generator.
+func (r *Rand) Reseed(seed uint64) {
 	st := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&st)
@@ -43,7 +50,6 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Split returns a new generator whose stream is independent of r's
@@ -108,6 +114,71 @@ func (r *Rand) Bernoulli(p float64) bool {
 		return true
 	}
 	return r.Float64() < p
+}
+
+// FixedProb converts a probability to the 64-bit fixed-point threshold
+// consumed by BernoulliU64. The conversion rounds to the nearest
+// representable threshold, so the realized probability differs from p by
+// at most 2^-64 (far below the 2^-53 resolution of the Float64-based
+// Bernoulli). Out-of-range p clamps to the degenerate thresholds.
+func FixedProb(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return ^uint64(0)
+	}
+	// p * 2^64 computed as p * 2^63 * 2 to stay inside float64 range.
+	scaled := math.Round(p * (1 << 63) * 2)
+	if scaled >= math.MaxUint64 { // 2^64 would overflow the conversion
+		return ^uint64(0)
+	}
+	return uint64(scaled)
+}
+
+// BernoulliU64 returns true with probability threshold/2^64 using a single
+// uint64 draw and one compare — no float conversion. threshold is
+// precomputed once with FixedProb and reused across draws, which is what
+// makes the per-bit cost of dense unary perturbation one generator step.
+// A threshold of ^uint64(0) (FixedProb of p>=1) is treated as certainty.
+func (r *Rand) BernoulliU64(threshold uint64) bool {
+	if threshold == ^uint64(0) {
+		r.Uint64() // keep stream consumption uniform across thresholds
+		return true
+	}
+	return r.Uint64() < threshold
+}
+
+// SkipInv precomputes the constant 1/ln(1-q) consumed by GeometricSkip
+// for success probability q in (0, 1). Callers hoist it out of sampling
+// loops (one log at construction instead of two per skip).
+func SkipInv(q float64) float64 {
+	return 1 / math.Log1p(-q)
+}
+
+// GeometricSkip samples the number of consecutive failures before the
+// first success of a Bernoulli(q) sequence — Geometric(q) on {0, 1, ...}
+// — using the inversion floor(ln(U)/ln(1-q)). invLog1q is SkipInv(q),
+// hoisted by the caller. One uniform draw and one log per skip, so
+// generating only the successes of a length-d Bernoulli(q) sequence costs
+// O(d·q) expected work instead of d draws: the geometric skip-sampling
+// behind sparse unary perturbation.
+//
+// The return value saturates at math.MaxInt64 for the (measure-zero)
+// u == 0 draw; callers compare against a domain bound anyway.
+func (r *Rand) GeometricSkip(invLog1q float64) int64 {
+	u := r.Float64()
+	if u <= 0 {
+		return math.MaxInt64
+	}
+	k := math.Log(u) * invLog1q
+	// The saturating branch also catches NaN and the q=0 degenerate
+	// (SkipInv +Inf times a negative log gives -Inf), where "no success
+	// ever" is the right answer.
+	if !(k >= 0) || k >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(k)
 }
 
 // NormFloat64 returns a standard normal variate using the Marsaglia polar

@@ -306,6 +306,30 @@ func PerturbAll(p Protocol, r *Rand, trueCounts []int64) ([]Report, error) {
 	return ldp.PerturbAll(p, r, trueCounts)
 }
 
+// PerturbScratch holds the reusable arenas behind PerturbAllInto. Each
+// call overwrites the reports returned by the previous call with the
+// same scratch.
+type PerturbScratch = ldp.PerturbScratch
+
+// PerturbAllInto is PerturbAll writing report payloads into the
+// scratch's bulk arenas, so steady-state perturbation allocates nothing
+// per report. The draw stream (and therefore every report) is identical
+// to PerturbAll under the same generator state.
+func PerturbAllInto(p Protocol, r *Rand, trueCounts []int64, s *PerturbScratch) ([]Report, error) {
+	return ldp.PerturbAllInto(p, r, trueCounts, s)
+}
+
+// SparseUnaryReport is a unary-encoding (OUE/SUE) report stored as its
+// sorted support list; Perturb returns it instead of a dense bitset
+// report when q is small enough that only generating the set bits wins.
+type SparseUnaryReport = ldp.SparseUnaryReport
+
+// Unbias converts raw support counts from total reports into unbiased
+// frequency estimates via Eq. (11).
+func Unbias(counts []int64, total int64, pr Params) ([]float64, error) {
+	return ldp.Unbias(counts, total, pr)
+}
+
 // GenerateHistory synthesizes historical genuine frequency series for
 // outlier-based target identification.
 func GenerateHistory(d *Dataset, periods int, drift float64, r *Rand) ([][]float64, error) {
