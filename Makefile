@@ -15,10 +15,12 @@ test: build
 test-full: build
 	$(GO) test ./...
 
-# Race-detector suite for the concurrent aggregation engine (and the
-# trial runner that drives it).
+# Race-detector suite for the concurrent aggregation engine, the
+# epoch-streamed pipeline built on it, the trial runner, and the HTTP
+# serving layer (epoch sealing under concurrent ingest lives in
+# internal/ldp and internal/stream).
 race:
-	$(GO) test -race ./internal/ldp/... ./internal/experiment/...
+	$(GO) test -race ./internal/ldp/... ./internal/stream/... ./internal/experiment/... ./cmd/ldprecover/...
 
 # One iteration of every benchmark: catches bit-rot in the paper figure
 # generators and the ingest benchmarks without burning CI minutes.

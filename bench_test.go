@@ -563,3 +563,81 @@ func BenchmarkWireRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkShardedReadPath pins the cached merged-snapshot read path:
+//
+//   - cached: repeated Estimate calls on a quiet accumulator — only the
+//     first read after an ingest merges the shards, the rest hit the
+//     cache (the fix for the old full-merge-per-read cost);
+//   - invalidated: an ingest lands between reads, so every Counts call
+//     pays the O(shards·d) re-merge — the old behaviour's cost on every
+//     read, quiet or not.
+//
+// The shard count is fixed at a serving-box 32 rather than this machine's
+// GOMAXPROCS so the merge the cache elides is the one a loaded server
+// actually pays.
+func BenchmarkShardedReadPath(b *testing.B) {
+	const d, shards = 4096, 32
+	counts := make([]int64, d)
+	for v := range counts {
+		counts[v] = int64(50 + v%97)
+	}
+	newLoaded := func(b *testing.B) *ldprecover.ShardedAccumulator {
+		b.Helper()
+		sa, err := ldprecover.NewShardedAccumulator(d, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sa.AddCounts(counts, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+		return sa
+	}
+
+	b.Run("cached", func(b *testing.B) {
+		sa := newLoaded(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := sa.Counts(); len(got) != d {
+				b.Fatal("short counts")
+			}
+		}
+	})
+
+	b.Run("invalidated", func(b *testing.B) {
+		sa := newLoaded(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sa.Add(ldp.GRRReport(i % d)); err != nil {
+				b.Fatal(err)
+			}
+			if got := sa.Counts(); len(got) != d {
+				b.Fatal("short counts")
+			}
+		}
+	})
+}
+
+// BenchmarkSealEpoch measures the epoch-boundary primitive on a loaded
+// accumulator: the per-shard swap plus the sealed merge.
+func BenchmarkSealEpoch(b *testing.B) {
+	const d = 4096
+	counts := make([]int64, d)
+	for v := range counts {
+		counts[v] = int64(50 + v%97)
+	}
+	sa, err := ldprecover.NewShardedAccumulator(d, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sa.AddCounts(counts, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+		ep := sa.SealEpoch()
+		if ep.Total() != 1<<20 {
+			b.Fatal("lost reports across seal")
+		}
+	}
+}

@@ -6,10 +6,14 @@
 //
 //	ldprecover demo    -corpus ipums -protocol oue -attack mga -beta 0.05
 //	ldprecover recover -in poisoned.csv -protocol grr -epsilon 0.5 [-targets 3,7]
+//	ldprecover serve   -protocol oue -d 128 -epsilon 0.5 -epoch 1m -window 4
 //
 // demo runs the whole pipeline on a synthetic corpus and prints
 // before/after metrics; recover post-processes an existing poisoned
-// frequency vector (CSV rows "item,frequency").
+// frequency vector (CSV rows "item,frequency"); serve runs the
+// epoch-streamed recovery service (HTTP ingest of report batches,
+// per-window poisoned vs. recovered estimates — see README "Serving
+// mode").
 package main
 
 import (
@@ -29,6 +33,8 @@ func main() {
 		err = runDemo(os.Args[2:])
 	case "recover":
 		err = runRecover(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -46,6 +52,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ldprecover demo    [flags]   simulate -> attack -> recover -> report
   ldprecover recover [flags]   recover frequencies from a poisoned CSV
+  ldprecover serve   [flags]   run the epoch-streamed recovery service
 
 run 'ldprecover <subcommand> -h' for flags`)
 }

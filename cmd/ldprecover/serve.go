@@ -1,0 +1,395 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ldprecover"
+)
+
+// The serve subcommand runs the epoch-streamed recovery service: a
+// long-lived collector that ingests codec-encoded report batches over
+// HTTP, seals epochs on a timer (or on demand), and serves per-window
+// poisoned vs. recovered frequency estimates.
+//
+// Endpoints:
+//
+//	POST /v1/reports   body = MarshalReportBatch frame; enqueued for
+//	                   ingest. 202 on accept, 429 when the queue is full.
+//	POST /v1/seal      close the current epoch now; returns the window
+//	                   estimate (also what the -epoch ticker calls).
+//	GET  /v1/estimate  latest sealed window estimate; ?window=k merges
+//	                   the newest k sealed epochs on demand instead.
+//	GET  /v1/stats     ingest/queue/epoch counters for monitoring.
+//
+// Ingest is decoupled from request handling by a bounded queue draining
+// into EpochManager.AddBatch from -ingesters goroutines, so a slow
+// aggregation moment backpressures clients with 429 instead of
+// accumulating unbounded memory. Shutdown (SIGINT/SIGTERM) stops the
+// listener, drains the queue, seals the final epoch, and prints it.
+func runServe(args []string) error {
+	fs := newFlagSet("serve")
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8347", "listen address")
+		protoN   = fs.String("protocol", "oue", "protocol: grr, oue, olh")
+		d        = fs.Int("d", 128, "domain size")
+		eps      = fs.Float64("epsilon", 0.5, "privacy budget")
+		epoch    = fs.Duration("epoch", time.Minute, "epoch length (0: seal only via POST /v1/seal)")
+		window   = fs.Int("window", 4, "sealed epochs per serving estimate")
+		history  = fs.Int("history", 16, "sealed epochs retained (ring + outlier history)")
+		eta      = fs.Float64("eta", ldprecover.DefaultEta, "assumed malicious/genuine ratio")
+		targetK  = fs.Int("targets", 0, "max auto-identified targets per epoch (0: min(10, d), negative: disable)")
+		minZ     = fs.Float64("minz", 3, "z-score threshold for flagging a target")
+		stable   = fs.Int("stable", 3, "consecutive epochs before LDPRecover* engages")
+		queueLen = fs.Int("queue", 256, "ingest queue bound (batches)")
+		ingest   = fs.Int("ingesters", 2, "ingest worker goroutines")
+		maxBody  = fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proto, err := buildProtocol(*protoN, *d, *eps)
+	if err != nil {
+		return err
+	}
+	srv, err := newStreamServer(streamServerConfig{
+		Stream: ldprecover.StreamConfig{
+			Params:      proto.Params(),
+			Window:      *window,
+			History:     *history,
+			Eta:         *eta,
+			TargetK:     *targetK,
+			MinZ:        *minZ,
+			StableAfter: *stable,
+		},
+		QueueLen:  *queueLen,
+		Ingesters: *ingest,
+		MaxBody:   *maxBody,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *epoch > 0 {
+		ticker = time.NewTicker(*epoch)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	fmt.Printf("serving %s (d=%d, epsilon=%g) on http://%s  epoch=%s window=%d\n",
+		proto.Name(), *d, *eps, ln.Addr(), *epoch, *window)
+
+	for {
+		select {
+		case <-tick:
+			est, err := srv.seal()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("sealed epoch %d: window of %d epochs / %d reports, partial-knowledge=%v\n",
+				est.Seq, est.Epochs, est.Total, est.PartialKnowledge)
+		case sig := <-sigc:
+			fmt.Printf("%v: draining\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			err := hs.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				return err
+			}
+			final, derr := srv.drain()
+			if derr != nil {
+				return derr
+			}
+			fmt.Printf("final epoch %d sealed: window of %d epochs / %d reports\n",
+				final.Seq, final.Epochs, final.Total)
+			<-errc // Serve has returned http.ErrServerClosed
+			return nil
+		case err := <-errc:
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// streamServerConfig wires the HTTP layer around an EpochManager.
+type streamServerConfig struct {
+	Stream    ldprecover.StreamConfig
+	QueueLen  int
+	Ingesters int
+	MaxBody   int64
+}
+
+// streamServer owns the manager, the bounded ingest queue and its
+// drain workers. All handler methods are safe for concurrent use.
+type streamServer struct {
+	mgr     *ldprecover.EpochManager
+	queue   chan []ldprecover.Report
+	wg      sync.WaitGroup
+	maxBody int64
+
+	// sealMu serializes seals so ticker, /v1/seal and drain cannot
+	// interleave epoch boundaries.
+	sealMu sync.Mutex
+
+	// drainMu protects the queue against a send racing its close:
+	// enqueuers hold it shared around the send, drain takes it exclusive
+	// to flip draining before closing the channel.
+	drainMu  sync.RWMutex
+	draining bool
+
+	accepted atomic.Int64 // batches accepted into the queue
+	rejected atomic.Int64 // batches turned away with 429
+}
+
+func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
+	if cfg.QueueLen < 1 {
+		return nil, fmt.Errorf("queue bound %d < 1", cfg.QueueLen)
+	}
+	if cfg.Ingesters < 1 {
+		return nil, fmt.Errorf("ingester count %d < 1", cfg.Ingesters)
+	}
+	if cfg.MaxBody < 64 {
+		return nil, fmt.Errorf("max body %d bytes is below a single report frame", cfg.MaxBody)
+	}
+	mgr, err := ldprecover.NewEpochManager(cfg.Stream)
+	if err != nil {
+		return nil, err
+	}
+	s := &streamServer{
+		mgr:     mgr,
+		queue:   make(chan []ldprecover.Report, cfg.QueueLen),
+		maxBody: cfg.MaxBody,
+	}
+	for i := 0; i < cfg.Ingesters; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for reps := range s.queue {
+				// AddBatch only fails on nil reports, which the decoder
+				// cannot produce; a failure here is a programming error
+				// worth crashing the server over rather than silently
+				// dropping reports.
+				if err := s.mgr.AddBatch(reps); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+// handler routes the versioned API.
+func (s *streamServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/reports", s.handleReports)
+	mux.HandleFunc("/v1/seal", s.handleSeal)
+	mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// seal closes the current epoch under the seal lock.
+func (s *streamServer) seal() (*ldprecover.WindowEstimate, error) {
+	s.sealMu.Lock()
+	defer s.sealMu.Unlock()
+	return s.mgr.Seal()
+}
+
+// drain closes the ingest queue, waits for the workers to fold every
+// queued batch, and seals the final epoch.
+func (s *streamServer) drain() (*ldprecover.WindowEstimate, error) {
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
+		return nil, errors.New("already draining")
+	}
+	s.draining = true
+	s.drainMu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+	return s.seal()
+}
+
+// httpError writes a plain-text error status.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ingestResponse acknowledges an accepted batch.
+type ingestResponse struct {
+	Accepted int `json:"accepted"`
+	// QueueDepth is the queue occupancy after the enqueue, a congestion
+	// signal clients can use to pace themselves before hitting 429s.
+	QueueDepth int `json:"queue_depth"`
+}
+
+func (s *streamServer) handleReports(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a report batch")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	reps, err := ldprecover.UnmarshalReportBatch(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	if len(reps) == 0 {
+		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: 0, QueueDepth: len(s.queue)})
+		return
+	}
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	select {
+	case s.queue <- reps:
+		s.drainMu.RUnlock()
+		s.accepted.Add(1)
+		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(reps), QueueDepth: len(s.queue)})
+	default:
+		s.drainMu.RUnlock()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "ingest queue full")
+	}
+}
+
+// estimateResponse is the JSON shape of a window estimate.
+type estimateResponse struct {
+	Seq              int       `json:"seq"`
+	Epochs           int       `json:"epochs"`
+	Total            int64     `json:"total"`
+	Poisoned         []float64 `json:"poisoned,omitempty"`
+	Recovered        []float64 `json:"recovered,omitempty"`
+	Targets          []int     `json:"targets,omitempty"`
+	PartialKnowledge bool      `json:"partial_knowledge"`
+}
+
+func toEstimateResponse(est *ldprecover.WindowEstimate) estimateResponse {
+	return estimateResponse{
+		Seq:              est.Seq,
+		Epochs:           est.Epochs,
+		Total:            est.Total,
+		Poisoned:         est.Poisoned,
+		Recovered:        est.Recovered,
+		Targets:          est.Targets,
+		PartialKnowledge: est.PartialKnowledge,
+	}
+}
+
+func (s *streamServer) handleSeal(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST to seal the current epoch")
+		return
+	}
+	est, err := s.seal()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "sealing: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toEstimateResponse(est))
+}
+
+func (s *streamServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET the window estimate")
+		return
+	}
+	if q := r.URL.Query().Get("window"); q != "" {
+		k, err := strconv.Atoi(q)
+		if err != nil || k < 1 {
+			httpError(w, http.StatusBadRequest, "window must be a positive epoch count")
+			return
+		}
+		est, err := s.mgr.EstimateWindow(k)
+		if err != nil {
+			httpError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toEstimateResponse(est))
+		return
+	}
+	est := s.mgr.Latest()
+	if est == nil {
+		httpError(w, http.StatusConflict, "no epoch sealed yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, toEstimateResponse(est))
+}
+
+// statsResponse is the monitoring summary.
+type statsResponse struct {
+	Domain          int   `json:"domain"`
+	Epochs          int   `json:"epochs"`
+	LiveTotal       int64 `json:"live_total"`
+	WindowTotal     int64 `json:"window_total"`
+	IngestedTotal   int64 `json:"ingested_total"`
+	Targets         []int `json:"targets,omitempty"`
+	QueueDepth      int   `json:"queue_depth"`
+	BatchesAccepted int64 `json:"batches_accepted"`
+	BatchesRejected int64 `json:"batches_rejected"`
+}
+
+func (s *streamServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET the server stats")
+		return
+	}
+	st := s.mgr.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Domain:          st.Domain,
+		Epochs:          st.Epochs,
+		LiveTotal:       st.LiveTotal,
+		WindowTotal:     st.WindowTotal,
+		IngestedTotal:   st.IngestedTotal,
+		Targets:         st.Targets,
+		QueueDepth:      len(s.queue),
+		BatchesAccepted: s.accepted.Load(),
+		BatchesRejected: s.rejected.Load(),
+	})
+}

@@ -15,6 +15,18 @@ import (
 // the item's own history and returns up to k items whose score exceeds
 // minZ, ordered by decreasing score. The history is periods × items.
 func ZScoreOutliers(history [][]float64, current []float64, k int, minZ float64) ([]int, error) {
+	return ZScoreOutliersMinSD(history, current, k, minZ, 0)
+}
+
+// ZScoreOutliersMinSD is ZScoreOutliers with a deviation floor: each
+// item's historical standard deviation is taken as at least minSD before
+// scoring. Callers who know the estimator's theoretical noise (e.g. the
+// LDP aggregation variance of Eq. 4/7 at the current report count) pass
+// it here so items whose history happens to be degenerate — a tail item
+// the simplex refinement clips to zero every period has sample deviation
+// zero — cannot turn ordinary estimation noise into an astronomical
+// score and crowd the genuinely attacked items out of the top k.
+func ZScoreOutliersMinSD(history [][]float64, current []float64, k int, minZ, minSD float64) ([]int, error) {
 	if len(history) < 2 {
 		return nil, errors.New("detect: need at least 2 history periods")
 	}
@@ -33,6 +45,9 @@ func ZScoreOutliers(history [][]float64, current []float64, k int, minZ float64)
 	if minZ < 0 || math.IsNaN(minZ) {
 		return nil, fmt.Errorf("detect: invalid z threshold %v", minZ)
 	}
+	if minSD < 0 || math.IsNaN(minSD) || math.IsInf(minSD, 0) {
+		return nil, fmt.Errorf("detect: invalid deviation floor %v", minSD)
+	}
 
 	type scored struct {
 		item int
@@ -46,6 +61,9 @@ func ZScoreOutliers(history [][]float64, current []float64, k int, minZ float64)
 		}
 		mu := stats.Mean(series)
 		sd := math.Sqrt(stats.SampleVariance(series))
+		if sd < minSD {
+			sd = minSD
+		}
 		if sd == 0 {
 			// A perfectly flat history cannot absorb any deviation; any
 			// change is infinitely anomalous. Use a tiny floor instead to

@@ -1,0 +1,87 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TargetTracker turns a per-epoch stream of outlier observations (e.g.
+// ZScoreOutliers over the rolling history) into a stable target set for
+// LDPRecover*. A single anomalous epoch proves nothing — genuine drift
+// and LDP noise flag items transiently — so the tracker promotes a set
+// only after it has been observed identically for StableAfter consecutive
+// epochs, and demotes it again only after the same number of consecutive
+// empty observations. This is the hysteresis that lets a stream upgrade
+// itself from LDPRecover to the paper's partial-knowledge variant (§V-D)
+// driven by real history instead of an oracle, without flapping between
+// the two estimators on noise.
+type TargetTracker struct {
+	need   int
+	last   []int // canonical form of the previous observation
+	streak int
+	stable []int
+}
+
+// NewTargetTracker returns a tracker that promotes or demotes a target
+// set after stableAfter consecutive identical observations.
+func NewTargetTracker(stableAfter int) (*TargetTracker, error) {
+	if stableAfter < 1 {
+		return nil, fmt.Errorf("detect: stableAfter %d < 1", stableAfter)
+	}
+	return &TargetTracker{need: stableAfter}, nil
+}
+
+// Observe folds one epoch's flagged targets (order-insensitive,
+// duplicates ignored; nil or empty means "no outliers this epoch") and
+// returns the current stable set, which changes only on promotion or
+// demotion. The returned slice is read-only and shared across calls.
+func (t *TargetTracker) Observe(targets []int) []int {
+	obs := canonicalTargets(targets)
+	if equalInts(obs, t.last) {
+		t.streak++
+	} else {
+		t.last = obs
+		t.streak = 1
+	}
+	if t.streak >= t.need {
+		if len(obs) == 0 {
+			t.stable = nil // demote: the anomaly has gone quiet
+		} else {
+			t.stable = obs // promote (or switch to a new stable set)
+		}
+	}
+	return t.stable
+}
+
+// Stable returns the current stable target set: nil while no set is
+// promoted (run LDPRecover), non-empty once one is (run LDPRecover*).
+func (t *TargetTracker) Stable() []int { return t.stable }
+
+// canonicalTargets sorts and dedups an observation.
+func canonicalTargets(targets []int) []int {
+	if len(targets) == 0 {
+		return nil
+	}
+	out := append([]int(nil), targets...)
+	sort.Ints(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTargetTrackerValidation(t *testing.T) {
+	if _, err := NewTargetTracker(0); err == nil {
+		t.Fatal("stableAfter=0 accepted")
+	}
+}
+
+// TestTargetTrackerPromotion walks the promote/demote hysteresis.
+func TestTargetTrackerPromotion(t *testing.T) {
+	tr, err := NewTargetTracker(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiet epochs: nothing stabilizes.
+	for i := 0; i < 5; i++ {
+		if got := tr.Observe(nil); got != nil {
+			t.Fatalf("quiet epoch %d promoted %v", i, got)
+		}
+	}
+	// Two agreeing observations are not enough...
+	tr.Observe([]int{7, 3})
+	if got := tr.Observe([]int{3, 7}); got != nil {
+		t.Fatalf("promoted after 2 observations: %v", got)
+	}
+	// ...the third promotes, order- and duplicate-insensitively.
+	if got := tr.Observe([]int{7, 3, 3}); !reflect.DeepEqual(got, []int{3, 7}) {
+		t.Fatalf("stable after 3 observations: %v", got)
+	}
+	// A transient disagreement does not demote.
+	if got := tr.Observe([]int{3}); !reflect.DeepEqual(got, []int{3, 7}) {
+		t.Fatalf("stable lost on transient disagreement: %v", got)
+	}
+	if got := tr.Observe(nil); !reflect.DeepEqual(got, []int{3, 7}) {
+		t.Fatalf("stable lost on single empty observation: %v", got)
+	}
+	// A new set observed persistently replaces the old one.
+	tr.Observe([]int{12})
+	tr.Observe([]int{12})
+	if got := tr.Observe([]int{12}); !reflect.DeepEqual(got, []int{12}) {
+		t.Fatalf("stable not switched: %v", got)
+	}
+	// Persistent quiet demotes back to nil (LDPRecover, non-knowledge).
+	tr.Observe(nil)
+	tr.Observe(nil)
+	if got := tr.Observe(nil); got != nil {
+		t.Fatalf("not demoted after persistent quiet: %v", got)
+	}
+	if tr.Stable() != nil {
+		t.Fatalf("Stable() = %v after demotion", tr.Stable())
+	}
+}
+
+// TestTargetTrackerStreakResets pins that the consecutive-agreement
+// counter restarts whenever the observation changes.
+func TestTargetTrackerStreakResets(t *testing.T) {
+	tr, err := NewTargetTracker(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Observe([]int{1})
+	tr.Observe([]int{2})
+	if got := tr.Observe([]int{1}); got != nil {
+		t.Fatalf("alternating observations promoted %v", got)
+	}
+	tr.Observe([]int{1})
+	if got := tr.Stable(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("stable after two consecutive: %v", got)
+	}
+}

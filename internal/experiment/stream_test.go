@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"testing"
+
+	"ldprecover/internal/dataset"
+)
+
+// TestRunStreamTracksRampingAttack is the streaming scenario's
+// acceptance: a clean phase, a mid-stream MGA ramp, and recovery that
+// tracks it — the poisoned window error inflates with the attack while
+// the recovered error stays below it, and cross-epoch detection engages
+// LDPRecover* on the attacker's actual targets.
+func TestRunStreamTracksRampingAttack(t *testing.T) {
+	ds, err := dataset.Zipf("stream-test", 64, 60000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := StreamScenario{
+		Dataset:     ds,
+		Protocol:    OUE,
+		Epsilon:     1.0,
+		Beta:        0.1,
+		NumTargets:  5,
+		Epochs:      16,
+		AttackStart: 8,
+		RampEpochs:  3,
+		StableAfter: 2,
+		Seed:        5,
+	}
+	res, err := RunStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != s.Epochs {
+		t.Fatalf("%d points for %d epochs", len(res.Points), s.Epochs)
+	}
+
+	// The ramp schedule is honored.
+	for e, pt := range res.Points {
+		if pt.Epoch != e {
+			t.Fatalf("point %d has epoch %d", e, pt.Epoch)
+		}
+		if e < s.AttackStart && pt.Beta != 0 {
+			t.Fatalf("epoch %d attacked before AttackStart (beta %v)", e, pt.Beta)
+		}
+		if e >= s.AttackStart && pt.Beta <= 0 {
+			t.Fatalf("epoch %d not attacked after AttackStart", e)
+		}
+	}
+	steady := res.Points[s.Epochs-1]
+	if got := steady.Beta; got < 0.09 || got > 0.11 {
+		t.Fatalf("steady-state beta %v, want ~%v", got, s.Beta)
+	}
+
+	// Clean phase: no partial knowledge, small errors.
+	var cleanMSE float64
+	for _, pt := range res.Points[:s.AttackStart] {
+		if pt.PartialKnowledge {
+			t.Fatalf("epoch %d: LDPRecover* before any attack", pt.Epoch)
+		}
+		cleanMSE += pt.MSEBefore
+	}
+	cleanMSE /= float64(s.AttackStart)
+
+	// Attack phase: the poisoned estimate inflates well above the clean
+	// baseline, the attacker gains frequency on its targets, and
+	// recovery claws most of both back.
+	if steady.MSEBefore < 5*cleanMSE {
+		t.Fatalf("attack barely visible: clean MSE %v, attacked MSE %v", cleanMSE, steady.MSEBefore)
+	}
+	if steady.MSEAfter >= steady.MSEBefore/2 {
+		t.Fatalf("recovery not tracking: MSE %v -> %v", steady.MSEBefore, steady.MSEAfter)
+	}
+	if steady.FGBefore <= 0 {
+		t.Fatalf("targeted attack gained nothing: FG %v", steady.FGBefore)
+	}
+	if steady.FGAfter >= steady.FGBefore/2 {
+		t.Fatalf("recovery left most of the gain: FG %v -> %v", steady.FGBefore, steady.FGAfter)
+	}
+
+	// The stream upgraded itself, on the true targets, only after the
+	// attack began.
+	if res.StarEngagedAt < s.AttackStart {
+		t.Fatalf("LDPRecover* engaged at epoch %d, attack starts at %d",
+			res.StarEngagedAt, s.AttackStart)
+	}
+	if res.StarEngagedAt < 0 {
+		t.Fatal("LDPRecover* never engaged")
+	}
+	if !res.TargetsExact {
+		t.Fatalf("stable targets %v differ from true targets %v",
+			res.Points[res.StarEngagedAt].Targets, res.TrueTargets)
+	}
+	if !steady.PartialKnowledge {
+		t.Fatal("LDPRecover* not engaged at steady state")
+	}
+}
+
+// TestRunStreamValidation covers scenario validation and defaulting.
+func TestRunStreamValidation(t *testing.T) {
+	ds, err := dataset.Zipf("stream-test", 16, 5000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunStream(StreamScenario{}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := RunStream(StreamScenario{Dataset: ds, Beta: 1.5}); err == nil {
+		t.Fatal("beta 1.5 accepted")
+	}
+	if _, err := RunStream(StreamScenario{Dataset: ds, Epochs: 4, AttackStart: 9}); err == nil {
+		t.Fatal("attack start beyond stream accepted")
+	}
+	// A short clean stream runs with pure defaults.
+	res, err := RunStream(StreamScenario{Dataset: ds, Epochs: 3, AttackStart: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 || res.StarEngagedAt != -1 {
+		t.Fatalf("clean stream: %+v", res)
+	}
+}

@@ -1,0 +1,116 @@
+package ldp
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"ldprecover/internal/rng"
+)
+
+// TestReportBatchRoundTrip round-trips a mixed-protocol batch and checks
+// aggregation equivalence: decoding must reproduce exactly the support
+// counts of the original reports.
+func TestReportBatchRoundTrip(t *testing.T) {
+	const d, eps = 24, 0.7
+	r := rng.New(5)
+	var reps []Report
+	for _, build := range []func() (Protocol, error){
+		func() (Protocol, error) { return NewGRR(d, eps) },
+		func() (Protocol, error) { return NewOUE(d, eps) },
+		func() (Protocol, error) { return NewOLH(d, eps) },
+		func() (Protocol, error) { return NewSUE(d, eps) },
+	} {
+		p, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 8; v++ {
+			rep, err := p.Perturb(r, v%d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps = append(reps, rep)
+		}
+	}
+
+	frame, err := MarshalReportBatch(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReportBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reps) {
+		t.Fatalf("decoded %d reports, want %d", len(got), len(reps))
+	}
+	want, err := CountSupports(reps, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := CountSupports(got, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if want[v] != have[v] {
+			t.Fatalf("item %d: decoded support %d, want %d", v, have[v], want[v])
+		}
+	}
+}
+
+// TestReportBatchEmpty round-trips the zero-report frame.
+func TestReportBatchEmpty(t *testing.T) {
+	frame, err := MarshalReportBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalReportBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d reports from empty batch", len(got))
+	}
+}
+
+// TestReportBatchMalformed exercises the decoder's structural checks.
+func TestReportBatchMalformed(t *testing.T) {
+	good, err := MarshalReportBatch([]Report{GRRReport(3), GRRReport(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"short":       good[:3],
+		"bad magic":   append([]byte("XX"), good[2:]...),
+		"bad version": append([]byte{'L', 'B', 9}, good[3:]...),
+		"trailing":    append(append([]byte(nil), good...), 0xFF),
+		"truncated":   good[:len(good)-3],
+	}
+	// Count larger than the physical frame.
+	huge := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(huge[3:], 1<<20)
+	cases["inflated count"] = huge
+	// Count above the hard cap.
+	capped := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(capped[3:], MaxBatchReports+1)
+	cases["over cap"] = capped
+	// Per-report length running past the frame.
+	overrun := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(overrun[7:], 1<<30)
+	cases["report overrun"] = overrun
+	// A corrupt inner report surfaces the single-report codec error.
+	inner := append([]byte(nil), good...)
+	inner[11+1] = 200 // unknown protocol tag in the first report
+	cases["bad inner tag"] = inner
+
+	for name, frame := range cases {
+		if _, err := UnmarshalReportBatch(frame); err == nil {
+			t.Errorf("%s: decoded successfully", name)
+		} else if !errors.Is(err, ErrCodec) {
+			t.Errorf("%s: error %v does not wrap ErrCodec", name, err)
+		}
+	}
+}

@@ -23,10 +23,31 @@ import (
 //   - Add folds a single report, choosing a shard round-robin.
 //
 // All methods are safe for concurrent use.
+//
+// Reads (Counts, Estimate, Snapshot) are served from a merged snapshot
+// cached against a mutation generation: only the first read after an
+// ingest pays the O(shards·d) merge; repeated reads of a quiet
+// accumulator are O(d) copies. Total stays a direct O(shards) sum so
+// monitors can poll it during continuous ingest. SealEpoch closes the
+// current epoch — it atomically swaps every shard's tally out from under
+// concurrent ingest and returns the sealed aggregate, the primitive the
+// stream layer builds epochs from.
 type ShardedAccumulator struct {
 	domain int
 	shards []accShard
 	cursor atomic.Uint64
+
+	// gen counts completed mutations (ingest, reset, seal). Bumped after
+	// the shard lock is released, so a reader that observes a bump also
+	// observes the mutation itself when it locks the shards.
+	gen atomic.Uint64
+
+	// snapMu guards the merged-snapshot cache. snap is immutable once
+	// stored: recomputation replaces the pointer, never the contents, so
+	// references handed out earlier stay valid.
+	snapMu  sync.Mutex
+	snap    *Accumulator
+	snapGen uint64
 }
 
 // accShard pads each shard to its own cache lines so mutexes and totals
@@ -75,6 +96,7 @@ func (sa *ShardedAccumulator) Add(rep Report) error {
 	rep.AddSupports(sh.acc.counts)
 	sh.acc.total++
 	sh.mu.Unlock()
+	sa.gen.Add(1)
 	return nil
 }
 
@@ -95,6 +117,7 @@ func (sa *ShardedAccumulator) AddBatch(reps []Report) error {
 	sh.mu.Lock()
 	sh.acc.addBatch(reps)
 	sh.mu.Unlock()
+	sa.gen.Add(1)
 	return nil
 }
 
@@ -120,6 +143,7 @@ func (sa *ShardedAccumulator) AddCounts(counts []int64, total int64) error {
 	}
 	sh.acc.total += total
 	sh.mu.Unlock()
+	sa.gen.Add(1)
 	return nil
 }
 
@@ -137,7 +161,10 @@ func (sa *ShardedAccumulator) Merge(other *ShardedAccumulator) error {
 	return sa.AddCounts(snap.counts, snap.total)
 }
 
-// Total returns the number of reports folded in so far.
+// Total returns the number of reports folded in so far. It sums the
+// per-shard totals directly — O(shards), no count merge — so monitoring
+// loops can poll it during continuous ingest without paying merged()'s
+// O(shards·d) recompute on every call.
 func (sa *ShardedAccumulator) Total() int64 {
 	var total int64
 	for i := range sa.shards {
@@ -149,11 +176,20 @@ func (sa *ShardedAccumulator) Total() int64 {
 	return total
 }
 
-// Snapshot merges all shards into a fresh sequential Accumulator. The
-// sharded accumulator itself is unchanged and may keep ingesting;
-// concurrent Adds may or may not be included, but every snapshot is a
-// consistent prefix-sum of completed ingest calls per shard.
-func (sa *ShardedAccumulator) Snapshot() *Accumulator {
+// merged returns the up-to-date merged aggregate, re-merging the shards
+// only when ingest has advanced since the last read. The returned
+// accumulator is immutable — recomputation replaces it rather than
+// mutating it — so callers may read it lock-free but must never write.
+func (sa *ShardedAccumulator) merged() *Accumulator {
+	sa.snapMu.Lock()
+	defer sa.snapMu.Unlock()
+	// Load gen before touching the shards: a mutation bumps gen only
+	// after unlocking its shard, so any ingest missing from the merge
+	// below has a bump we haven't seen — the next read re-merges.
+	gen := sa.gen.Load()
+	if sa.snap != nil && sa.snapGen == gen {
+		return sa.snap
+	}
 	out := &Accumulator{counts: make([]int64, sa.domain)}
 	for i := range sa.shards {
 		sh := &sa.shards[i]
@@ -164,6 +200,54 @@ func (sa *ShardedAccumulator) Snapshot() *Accumulator {
 		out.total += sh.acc.total
 		sh.mu.Unlock()
 	}
+	sa.snap = out
+	sa.snapGen = gen
+	return out
+}
+
+// Snapshot merges all shards into a fresh sequential Accumulator owned by
+// the caller. The sharded accumulator itself is unchanged and may keep
+// ingesting; concurrent Adds may or may not be included, but every
+// snapshot is a consistent prefix-sum of completed ingest calls per shard.
+func (sa *ShardedAccumulator) Snapshot() *Accumulator {
+	m := sa.merged()
+	return &Accumulator{counts: append([]int64(nil), m.counts...), total: m.total}
+}
+
+// SealEpoch closes the current epoch: every shard's tally is swapped out
+// for a zeroed one and the swapped tallies merge into the returned sealed
+// aggregate, which no further ingest can touch. Concurrent AddBatch/Add/
+// AddCounts calls are never stopped — each shard is locked only for a
+// slice swap — and every ingest call lands entirely in either the sealed
+// epoch or the next one: an ingest holds one shard lock for its whole
+// mutation, so the seal's swap observes it completely or not at all.
+// Counts are conserved exactly — the sum of sealed epochs plus the live
+// tally always equals everything ingested.
+func (sa *ShardedAccumulator) SealEpoch() *Accumulator {
+	// Allocate replacement tallies outside the locks so each shard is
+	// held only for the swap itself.
+	fresh := make([][]int64, len(sa.shards))
+	for i := range fresh {
+		fresh[i] = make([]int64, sa.domain)
+	}
+	sealed := make([][]int64, len(sa.shards))
+	out := &Accumulator{counts: make([]int64, sa.domain)}
+	for i := range sa.shards {
+		sh := &sa.shards[i]
+		sh.mu.Lock()
+		sealed[i] = sh.acc.counts
+		sh.acc.counts = fresh[i]
+		out.total += sh.acc.total
+		sh.acc.total = 0
+		sh.mu.Unlock()
+	}
+	// Merge outside the locks: the swapped slices are exclusively ours.
+	for _, counts := range sealed {
+		for v, c := range counts {
+			out.counts[v] += c
+		}
+	}
+	sa.gen.Add(1)
 	return out
 }
 
@@ -178,13 +262,14 @@ func (sa *ShardedAccumulator) Reset() {
 		sh.acc.total = 0
 		sh.mu.Unlock()
 	}
+	sa.gen.Add(1)
 }
 
 // Counts returns a copy of the merged raw support counts.
-func (sa *ShardedAccumulator) Counts() []int64 { return sa.Snapshot().Counts() }
+func (sa *ShardedAccumulator) Counts() []int64 { return sa.merged().Counts() }
 
 // Estimate produces unbiased frequency estimates for the current merged
 // aggregate under the protocol parameters pr.
 func (sa *ShardedAccumulator) Estimate(pr Params) ([]float64, error) {
-	return sa.Snapshot().Estimate(pr)
+	return sa.merged().Estimate(pr)
 }

@@ -21,7 +21,11 @@
 //
 // For high-throughput serving, ShardedAccumulator ingests reports from
 // many goroutines concurrently, and BatchSimulate produces whole-population
-// aggregate counts without materializing per-user reports.
+// aggregate counts without materializing per-user reports. EpochManager
+// (DESIGN.md §5) turns the same flow into a continuously-serving epoch
+// stream — sealed epochs, sliding-window estimates, and an automatic
+// upgrade to LDPRecover* once attacked items stabilize — which the
+// `ldprecover serve` subcommand exposes over HTTP.
 //
 // See README.md for the quick start, package layout and how to run the
 // paper's figure benchmarks; examples/ for runnable end-to-end scenarios;
@@ -39,6 +43,7 @@ import (
 	"ldprecover/internal/ldp"
 	"ldprecover/internal/metrics"
 	"ldprecover/internal/rng"
+	"ldprecover/internal/stream"
 )
 
 // Re-exported protocol types (paper §III-B).
@@ -170,6 +175,49 @@ func MarshalReport(rep Report) ([]byte, error) { return ldp.MarshalReport(rep) }
 
 // UnmarshalReport parses a wire-format report.
 func UnmarshalReport(data []byte) (Report, error) { return ldp.UnmarshalReport(data) }
+
+// MarshalReportBatch frames many reports into one wire batch, the unit
+// the serving layer ingests per HTTP request.
+func MarshalReportBatch(reps []Report) ([]byte, error) { return ldp.MarshalReportBatch(reps) }
+
+// UnmarshalReportBatch parses a wire-format report batch.
+func UnmarshalReportBatch(data []byte) ([]Report, error) { return ldp.UnmarshalReportBatch(data) }
+
+// MaxBatchReports is the decoder's hard cap on a batch frame's report
+// count; servers enforce their own smaller limits on top.
+const MaxBatchReports = ldp.MaxBatchReports
+
+// Epoch-streamed recovery (DESIGN.md §5): an EpochManager turns the
+// batch aggregate → estimate → recover flow into a continuously serving
+// pipeline — concurrent ingest into a live epoch, Seal() boundaries that
+// never stop ingest, sliding-window estimates, and cross-epoch outlier
+// tracking that upgrades recovery from LDPRecover to LDPRecover* once
+// the attacked items stabilize.
+type (
+	// StreamConfig parameterizes an EpochManager.
+	StreamConfig = stream.Config
+	// EpochManager is the streaming collector.
+	EpochManager = stream.EpochManager
+	// Epoch is one sealed collection period.
+	Epoch = stream.Epoch
+	// WindowEstimate is the per-window serving output (poisoned and
+	// recovered frequencies).
+	WindowEstimate = stream.WindowEstimate
+	// StreamStats is a point-in-time manager summary.
+	StreamStats = stream.Stats
+	// TargetTracker is the promote/demote hysteresis behind the
+	// LDPRecover → LDPRecover* upgrade.
+	TargetTracker = detect.TargetTracker
+)
+
+// NewEpochManager builds a streaming epoch manager.
+func NewEpochManager(cfg StreamConfig) (*EpochManager, error) { return stream.NewEpochManager(cfg) }
+
+// NewTargetTracker returns a tracker that promotes or demotes a target
+// set after stableAfter consecutive identical outlier observations.
+func NewTargetTracker(stableAfter int) (*TargetTracker, error) {
+	return detect.NewTargetTracker(stableAfter)
+}
 
 // ConfidenceInterval returns the two-sided (1-alpha) CLT confidence
 // interval for an item's estimated frequency under the protocol's

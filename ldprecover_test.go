@@ -245,3 +245,82 @@ func ExampleRecover() {
 	fmt.Printf("simplex sum = %.3f\n", sum)
 	// Output: simplex sum = 1.000
 }
+
+// TestFacadeStreamingPipeline exercises the streaming re-exports as a
+// downstream service would: batch frames off the wire into an
+// EpochManager, seal epochs, and read window estimates.
+func TestFacadeStreamingPipeline(t *testing.T) {
+	const d, eps = 16, 0.8
+	proto, err := ldprecover.NewOUE(d, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := ldprecover.NewEpochManager(ldprecover.StreamConfig{
+		Params: proto.Params(),
+		Window: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ldprecover.NewRand(4)
+	counts := make([]int64, d)
+	for v := range counts {
+		counts[v] = 500
+	}
+	for e := 0; e < 3; e++ {
+		reports, err := ldprecover.PerturbAll(proto, r, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip one epoch through the batch wire codec, the way the
+		// serve endpoint receives it.
+		frame, err := ldprecover.MarshalReportBatch(reports[:256])
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := ldprecover.UnmarshalReportBatch(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.AddBatch(decoded); err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.AddBatch(reports[256:]); err != nil {
+			t.Fatal(err)
+		}
+		est, err := mgr.Seal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEpochs := 2
+		if e == 0 {
+			wantEpochs = 1
+		}
+		if est.Epochs != wantEpochs || est.Total != int64(wantEpochs*len(reports)) {
+			t.Fatalf("epoch %d: window %d epochs / %d reports", e, est.Epochs, est.Total)
+		}
+		var sum float64
+		for _, f := range est.Recovered {
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("recovered window estimate sums to %v", sum)
+		}
+	}
+	st := mgr.Stats()
+	if st.Epochs != 3 || st.IngestedTotal != int64(3*d*500) {
+		t.Fatalf("stream stats %+v", st)
+	}
+	if mgr.Latest() == nil {
+		t.Fatal("no latest window estimate")
+	}
+	// The tracker hysteresis is reachable through the facade too.
+	tr, err := ldprecover.NewTargetTracker(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Observe([]int{3})
+	if got := tr.Observe([]int{3}); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("tracker stable set %v", got)
+	}
+}
