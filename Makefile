@@ -16,11 +16,12 @@ test-full: build
 	$(GO) test ./...
 
 # Race-detector suite for the concurrent aggregation engine, the
-# epoch-streamed pipeline built on it, the trial runner, and the HTTP
-# serving layer (epoch sealing under concurrent ingest lives in
-# internal/ldp and internal/stream).
+# epoch-streamed pipeline built on it, the persistence layer (WAL
+# appends race seals/snapshots), the trial runner, and the HTTP serving
+# layer (epoch sealing under concurrent ingest lives in internal/ldp and
+# internal/stream).
 race:
-	$(GO) test -race ./internal/ldp/... ./internal/stream/... ./internal/experiment/... ./cmd/ldprecover/...
+	$(GO) test -race ./internal/ldp/... ./internal/stream/... ./internal/persist/... ./internal/experiment/... ./cmd/ldprecover/...
 
 # One iteration of every benchmark: catches bit-rot in the paper figure
 # generators and the ingest benchmarks without burning CI minutes.

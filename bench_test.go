@@ -3,6 +3,7 @@ package ldprecover_test
 import (
 	"fmt"
 	"math"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"ldprecover"
 	"ldprecover/internal/experiment"
 	"ldprecover/internal/ldp"
+	"ldprecover/internal/persist"
 )
 
 // The benchmarks below regenerate every table and figure of the paper's
@@ -638,6 +640,92 @@ func BenchmarkSealEpoch(b *testing.B) {
 		ep := sa.SealEpoch()
 		if ep.Total() != 1<<20 {
 			b.Fatal("lost reports across seal")
+		}
+	}
+}
+
+// BenchmarkWALAppend measures the durable ingest hot path: appending a
+// 256-report OUE batch frame (the serve layer's wire unit) to the
+// write-ahead log, under the default fsync-every-batch policy and under
+// the lazy policy that syncs only at epoch seals.
+func BenchmarkWALAppend(b *testing.B) {
+	const d, eps, batch = 128, 0.5, 256
+	proto, err := ldprecover.NewOUE(d, eps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := ldprecover.NewRand(4)
+	trueCounts := make([]int64, d)
+	for v := range trueCounts {
+		trueCounts[v] = batch / d
+	}
+	reps, err := ldprecover.PerturbAll(proto, r, trueCounts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := ldprecover.MarshalReportBatch(reps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []struct {
+		name  string
+		every int
+	}{
+		{"fsync-every-batch", 1},
+		{"fsync-at-seals", -1},
+	} {
+		b.Run(pol.name, func(b *testing.B) {
+			w, err := persist.OpenWAL(filepath.Join(b.TempDir(), "wal"),
+				persist.WALOptions{SyncEvery: pol.every})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.SetBytes(int64(len(frame)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Append(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotWrite measures the per-seal durability cost: encoding
+// and atomically writing (temp file + fsync + rename) the full state of
+// a d=4096 manager with a loaded retention ring and outlier history —
+// the work a durable seal adds over an in-memory one.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	const d = 4096
+	proto, err := ldprecover.NewOUE(d, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := ldprecover.NewEpochManager(ldprecover.StreamConfig{
+		Params: proto.Params(), Window: 4, History: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := make([]int64, d)
+	for v := range counts {
+		counts[v] = int64(200 + v%53)
+	}
+	for e := 0; e < 16; e++ {
+		if err := mgr.AddCounts(counts, 1<<20); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mgr.Seal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := mgr.SnapshotState()
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := persist.WriteSnapshot(dir, uint64(i), st); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

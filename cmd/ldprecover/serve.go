@@ -39,6 +39,14 @@ import (
 // aggregation moment backpressures clients with 429 instead of
 // accumulating unbounded memory. Shutdown (SIGINT/SIGTERM) stops the
 // listener, drains the queue, seals the final epoch, and prints it.
+//
+// With -data-dir the service is durable (DESIGN.md §6): batches are
+// written to a CRC-framed WAL before they are aggregated, every seal
+// snapshots the manager's cross-epoch state atomically and truncates the
+// log, and a restart resumes from snapshot + WAL tail with window
+// estimates bit-identical to an uninterrupted run — including the
+// recovered-baseline history and target-tracker hysteresis that drive
+// the LDPRecover* upgrade, which an in-memory server forgets.
 func runServe(args []string) error {
 	fs := newFlagSet("serve")
 	var (
@@ -56,9 +64,27 @@ func runServe(args []string) error {
 		queueLen = fs.Int("queue", 256, "ingest queue bound (batches)")
 		ingest   = fs.Int("ingesters", 2, "ingest worker goroutines")
 		maxBody  = fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
+		dataDir  = fs.String("data-dir", "", "durable state directory: WAL + per-seal snapshots (empty: in-memory only)")
+		fsyncN   = fs.Int("fsync-every", 1, "fsync the WAL every n-th batch (negative: only at epoch seals)")
+		walSeg   = fs.Int64("wal-segment", ldprecover.DefaultWALSegmentBytes, "WAL segment rotation size in bytes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Validate what would otherwise pass through silently or surface as
+	// an internal config error without the flag names.
+	if *epoch < 0 {
+		return fmt.Errorf("-epoch %s is negative; use 0 to seal only via POST /v1/seal", *epoch)
+	}
+	if *window < 1 {
+		return fmt.Errorf("-window %d is below 1 sealed epoch", *window)
+	}
+	if *history < *window {
+		return fmt.Errorf("-history %d is below -window %d: the retention ring must cover the serving window",
+			*history, *window)
+	}
+	if *walSeg < 1 {
+		return fmt.Errorf("-wal-segment %d bytes is below 1", *walSeg)
 	}
 	proto, err := buildProtocol(*protoN, *d, *eps)
 	if err != nil {
@@ -74,16 +100,25 @@ func runServe(args []string) error {
 			MinZ:        *minZ,
 			StableAfter: *stable,
 		},
-		QueueLen:  *queueLen,
-		Ingesters: *ingest,
-		MaxBody:   *maxBody,
+		QueueLen:     *queueLen,
+		Ingesters:    *ingest,
+		MaxBody:      *maxBody,
+		DataDir:      *dataDir,
+		SyncEvery:    *fsyncN,
+		SegmentBytes: *walSeg,
 	})
 	if err != nil {
 		return err
 	}
+	if srv.store != nil {
+		ri := srv.store.Restored()
+		fmt.Printf("durable state in %s: restored %d sealed epochs, replayed %d batches / %d reports\n",
+			*dataDir, ri.SnapshotSeq, ri.ReplayedBatches, ri.ReplayedReports)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		srv.close()
 		return err
 	}
 	hs := &http.Server{Handler: srv.handler()}
@@ -104,38 +139,66 @@ func runServe(args []string) error {
 	fmt.Printf("serving %s (d=%d, epsilon=%g) on http://%s  epoch=%s window=%d\n",
 		proto.Name(), *d, *eps, ln.Addr(), *epoch, *window)
 
+	return serveLoop(hs, srv, tick, sigc, errc)
+}
+
+// serveLoop runs the epoch ticker / shutdown select around a listening
+// server. Every exit path — signal, seal failure, listener failure —
+// stops the listener, drains the ingest queue into the manager, and
+// closes the durable store, so none of them leaks the Serve goroutine or
+// strands queued batches.
+func serveLoop(hs *http.Server, srv *streamServer, tick <-chan time.Time, sigc <-chan os.Signal, errc <-chan error) error {
 	for {
 		select {
 		case <-tick:
 			est, err := srv.seal()
 			if err != nil {
-				return err
+				// A failing seal is fatal, but not a reason to leak: shut
+				// the listener down and fold every queued batch before
+				// returning (an early return here used to strand the
+				// listener, the Serve goroutine and the queue).
+				return errors.Join(err, shutdownAndDrain(hs, srv, errc, false))
 			}
 			fmt.Printf("sealed epoch %d: window of %d epochs / %d reports, partial-knowledge=%v\n",
 				est.Seq, est.Epochs, est.Total, est.PartialKnowledge)
+		case err := <-srv.fatalc:
+			// A handler hit a fatal error (failed POST /v1/seal): same
+			// fail-stop as a failed ticker seal.
+			return errors.Join(err, shutdownAndDrain(hs, srv, errc, false))
 		case sig := <-sigc:
 			fmt.Printf("%v: draining\n", sig)
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			err := hs.Shutdown(ctx)
-			cancel()
-			if err != nil {
-				return err
-			}
-			final, derr := srv.drain()
-			if derr != nil {
-				return derr
-			}
-			fmt.Printf("final epoch %d sealed: window of %d epochs / %d reports\n",
-				final.Seq, final.Epochs, final.Total)
-			<-errc // Serve has returned http.ErrServerClosed
-			return nil
+			return shutdownAndDrain(hs, srv, errc, true)
 		case err := <-errc:
 			if errors.Is(err, http.ErrServerClosed) {
-				return nil
+				return drainAndClose(srv, true)
 			}
-			return err
+			// The listener died under us; the queue may still hold
+			// accepted batches — fold and persist them before failing.
+			return errors.Join(err, drainAndClose(srv, false))
 		}
 	}
+}
+
+// shutdownAndDrain stops accepting requests, waits for the Serve
+// goroutine to return, then drains the queue, seals the final epoch and
+// closes the durable store.
+func shutdownAndDrain(hs *http.Server, srv *streamServer, errc <-chan error, report bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err := hs.Shutdown(ctx)
+	cancel()
+	<-errc // Serve has returned (http.ErrServerClosed after Shutdown)
+	return errors.Join(err, drainAndClose(srv, report))
+}
+
+// drainAndClose folds every queued batch, seals the final epoch, and
+// closes the durable store.
+func drainAndClose(srv *streamServer, report bool) error {
+	final, err := srv.drain()
+	if err == nil && report {
+		fmt.Printf("final epoch %d sealed: window of %d epochs / %d reports\n",
+			final.Seq, final.Epochs, final.Total)
+	}
+	return errors.Join(err, srv.close())
 }
 
 // streamServerConfig wires the HTTP layer around an EpochManager.
@@ -144,19 +207,42 @@ type streamServerConfig struct {
 	QueueLen  int
 	Ingesters int
 	MaxBody   int64
+	// DataDir enables durable mode; empty keeps all state in memory.
+	DataDir      string
+	SyncEvery    int
+	SegmentBytes int64
+}
+
+// ingestBatch is one queued POST /v1/reports body: the decoded reports
+// plus the wire frame they came from, which durable mode appends to the
+// WAL verbatim instead of re-marshaling.
+type ingestBatch struct {
+	frame []byte
+	reps  []ldprecover.Report
 }
 
 // streamServer owns the manager, the bounded ingest queue and its
-// drain workers. All handler methods are safe for concurrent use.
+// drain workers, and (in durable mode) the persistence store. All
+// handler methods are safe for concurrent use.
 type streamServer struct {
 	mgr     *ldprecover.EpochManager
-	queue   chan []ldprecover.Report
+	store   *ldprecover.DurableStore // nil in memory-only mode
+	queue   chan ingestBatch
 	wg      sync.WaitGroup
 	maxBody int64
 
 	// sealMu serializes seals so ticker, /v1/seal and drain cannot
 	// interleave epoch boundaries.
 	sealMu sync.Mutex
+	// sealFn is what seal() runs under sealMu — the store's persisting
+	// seal in durable mode, the manager's otherwise. Tests substitute a
+	// failing one to drive the error paths.
+	sealFn func() (*ldprecover.WindowEstimate, error)
+
+	// fatalc carries a handler-observed fatal error (a failed seal) to
+	// serveLoop, so a durable server whose snapshots stop persisting
+	// fail-stops whether the seal came from the ticker or POST /v1/seal.
+	fatalc chan error
 
 	// drainMu protects the queue against a send racing its close:
 	// enqueuers hold it shared around the send, drain takes it exclusive
@@ -184,25 +270,48 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 	}
 	s := &streamServer{
 		mgr:     mgr,
-		queue:   make(chan []ldprecover.Report, cfg.QueueLen),
+		queue:   make(chan ingestBatch, cfg.QueueLen),
 		maxBody: cfg.MaxBody,
+		fatalc:  make(chan error, 1),
+	}
+	if cfg.DataDir != "" {
+		s.store, err = ldprecover.OpenDurableStore(cfg.DataDir, mgr, ldprecover.DurableOptions{
+			SegmentBytes: cfg.SegmentBytes,
+			SyncEvery:    cfg.SyncEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.sealFn = s.store.Seal
+	} else {
+		s.sealFn = mgr.Seal
 	}
 	for i := 0; i < cfg.Ingesters; i++ {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for reps := range s.queue {
+			for b := range s.queue {
 				// AddBatch only fails on nil reports, which the decoder
-				// cannot produce; a failure here is a programming error
-				// worth crashing the server over rather than silently
-				// dropping reports.
-				if err := s.mgr.AddBatch(reps); err != nil {
+				// cannot produce, and a WAL append fails only when the
+				// log can no longer be written — either way the server
+				// cannot keep its promises, so crash rather than drop
+				// reports silently.
+				if err := s.ingest(b); err != nil {
 					panic(err)
 				}
 			}
 		}()
 	}
 	return s, nil
+}
+
+// ingest folds one dequeued batch — through the WAL first in durable
+// mode, so a batch is never aggregated without being logged.
+func (s *streamServer) ingest(b ingestBatch) error {
+	if s.store != nil {
+		return s.store.AppendBatch(b.frame, b.reps)
+	}
+	return s.mgr.AddBatch(b.reps)
 }
 
 // handler routes the versioned API.
@@ -215,11 +324,12 @@ func (s *streamServer) handler() http.Handler {
 	return mux
 }
 
-// seal closes the current epoch under the seal lock.
+// seal closes the current epoch under the seal lock (persisting it in
+// durable mode).
 func (s *streamServer) seal() (*ldprecover.WindowEstimate, error) {
 	s.sealMu.Lock()
 	defer s.sealMu.Unlock()
-	return s.mgr.Seal()
+	return s.sealFn()
 }
 
 // drain closes the ingest queue, waits for the workers to fold every
@@ -235,6 +345,14 @@ func (s *streamServer) drain() (*ldprecover.WindowEstimate, error) {
 	close(s.queue)
 	s.wg.Wait()
 	return s.seal()
+}
+
+// close releases the durable store (a no-op in memory-only mode).
+func (s *streamServer) close() error {
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
 }
 
 // httpError writes a plain-text error status.
@@ -286,8 +404,15 @@ func (s *streamServer) handleReports(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
+	b := ingestBatch{reps: reps}
+	if s.store != nil {
+		// Only durable mode needs the wire bytes (the WAL appends them
+		// verbatim); holding them in the queue otherwise retains up to
+		// maxBody per slot for nothing.
+		b.frame = body
+	}
 	select {
-	case s.queue <- reps:
+	case s.queue <- b:
 		s.drainMu.RUnlock()
 		s.accepted.Add(1)
 		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(reps), QueueDepth: len(s.queue)})
@@ -330,6 +455,13 @@ func (s *streamServer) handleSeal(w http.ResponseWriter, r *http.Request) {
 	est, err := s.seal()
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "sealing: %v", err)
+		// A failed seal is as fatal here as on the ticker path: tell the
+		// serve loop so the server shuts down and drains instead of
+		// accepting reports forever with broken durability.
+		select {
+		case s.fatalc <- err:
+		default:
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, toEstimateResponse(est))

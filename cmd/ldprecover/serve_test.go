@@ -3,10 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -295,6 +298,162 @@ func mustFrame(t *testing.T, reps []ldprecover.Report) []byte {
 	return frame
 }
 
+// TestServeFlagValidation: flag combinations that used to pass through
+// silently (negative -epoch behaved like 0) or surface as an internal
+// "stream:" config error must fail up front, naming the flags.
+func TestServeFlagValidation(t *testing.T) {
+	for name, tc := range map[string]struct {
+		args []string
+		want []string // substrings the error must mention
+	}{
+		"negative-epoch":       {[]string{"-epoch", "-1s"}, []string{"-epoch"}},
+		"zero-window":          {[]string{"-window", "0"}, []string{"-window"}},
+		"history-below-window": {[]string{"-history", "2", "-window", "4"}, []string{"-history", "-window"}},
+		"bad-wal-segment":      {[]string{"-wal-segment", "-1"}, []string{"-wal-segment"}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			err := runServe(tc.args)
+			if err == nil {
+				t.Fatalf("runServe(%v) succeeded", tc.args)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Fatalf("error %q does not name %s", err, want)
+				}
+			}
+		})
+	}
+}
+
+// TestServeLoopSealFailureShutsDown is the regression test for the
+// leaked HTTP server: when a ticker-driven seal fails, serveLoop must
+// still stop the listener, terminate the Serve goroutine, and fold every
+// queued batch into the manager before returning — an early return here
+// used to strand all three.
+func TestServeLoopSealFailureShutsDown(t *testing.T) {
+	proto, err := ldprecover.NewGRR(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newStreamServer(streamServerConfig{
+		Stream:    ldprecover.StreamConfig{Params: proto.Params()},
+		QueueLen:  8,
+		Ingesters: 1,
+		MaxBody:   1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the single worker so a real batch is still queued when the
+	// seal fails; the drain on the error path must fold it anyway.
+	block := make(chan struct{})
+	srv.queue <- ingestBatch{reps: []ldprecover.Report{blockingReport{block}}}
+	rep, err := proto.Perturb(ldprecover.NewRand(1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.queue <- ingestBatch{reps: []ldprecover.Report{rep}}
+
+	sealErr := errors.New("synthetic seal failure")
+	srv.sealFn = func() (*ldprecover.WindowEstimate, error) { return nil, sealErr }
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	tick := make(chan time.Time, 1)
+	loopErr := make(chan error, 1)
+	go func() { loopErr <- serveLoop(hs, srv, tick, nil, errc) }()
+	tick <- time.Time{}
+	close(block) // let the parked worker finish so the drain can complete
+
+	select {
+	case err := <-loopErr:
+		if !errors.Is(err, sealErr) {
+			t.Fatalf("serveLoop returned %v, want the seal failure", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveLoop did not return after the failed seal")
+	}
+
+	// The listener is down...
+	if conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after failed seal")
+	}
+	// ...the ingest workers have exited...
+	workersDone := make(chan struct{})
+	go func() { srv.wg.Wait(); close(workersDone) }()
+	select {
+	case <-workersDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("ingest workers leaked after failed seal")
+	}
+	// ...and both queued batches (the blocker and the real report) were
+	// folded into the manager, not dropped.
+	if got := srv.mgr.Stats().IngestedTotal; got != 2 {
+		t.Fatalf("drained %d reports, want 2", got)
+	}
+}
+
+// TestServeSealEndpointFailureShutsDown: a failed POST /v1/seal is as
+// fatal as a failed ticker seal — the handler answers 500, and the serve
+// loop shuts the server down instead of letting it accept reports
+// forever with broken durability.
+func TestServeSealEndpointFailureShutsDown(t *testing.T) {
+	proto, err := ldprecover.NewGRR(8, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newStreamServer(streamServerConfig{
+		Stream:    ldprecover.StreamConfig{Params: proto.Params()},
+		QueueLen:  8,
+		Ingesters: 1,
+		MaxBody:   1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealErr := errors.New("synthetic seal failure")
+	srv.sealFn = func() (*ldprecover.WindowEstimate, error) { return nil, sealErr }
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	loopErr := make(chan error, 1)
+	go func() { loopErr <- serveLoop(hs, srv, nil, nil, errc) }()
+
+	resp, err := http.Post("http://"+ln.Addr().String()+"/v1/seal", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("seal status %d, want 500", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	select {
+	case err := <-loopErr:
+		if !errors.Is(err, sealErr) {
+			t.Fatalf("serveLoop returned %v, want the seal failure", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveLoop kept running after a failed POST /v1/seal")
+	}
+	if conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after failed seal")
+	}
+}
+
 // blockingReport parks the ingest worker that aggregates it until the
 // release channel closes, so the bounded queue in front of the manager
 // fills deterministically.
@@ -324,7 +483,7 @@ func TestServeBackpressure(t *testing.T) {
 	defer close(block)
 	// Enqueue directly (the wire codec cannot carry a test double); the
 	// worker dequeues it and parks inside AddBatch.
-	srv.queue <- []ldprecover.Report{blockingReport{block}}
+	srv.queue <- ingestBatch{reps: []ldprecover.Report{blockingReport{block}}}
 	hs := httptest.NewServer(srv.handler())
 	defer hs.Close()
 

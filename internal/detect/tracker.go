@@ -2,6 +2,7 @@ package detect
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -34,7 +35,13 @@ func NewTargetTracker(stableAfter int) (*TargetTracker, error) {
 // Observe folds one epoch's flagged targets (order-insensitive,
 // duplicates ignored; nil or empty means "no outliers this epoch") and
 // returns the current stable set, which changes only on promotion or
-// demotion. The returned slice is read-only and shared across calls.
+// demotion.
+//
+// Sharing contract: the returned slice is the tracker's internal stable
+// set — the same backing array Stable returns — and must be treated as
+// read-only. Callers that publish it to concurrent consumers (JSON
+// encoders, monitoring endpoints) must copy first; the stream layer does
+// exactly that before handing targets to WindowEstimate or Stats.
 func (t *TargetTracker) Observe(targets []int) []int {
 	obs := canonicalTargets(targets)
 	if equalInts(obs, t.last) {
@@ -55,7 +62,48 @@ func (t *TargetTracker) Observe(targets []int) []int {
 
 // Stable returns the current stable target set: nil while no set is
 // promoted (run LDPRecover), non-empty once one is (run LDPRecover*).
+// The same sharing contract as Observe applies: the slice is the
+// tracker's internal state and must not be mutated.
 func (t *TargetTracker) Stable() []int { return t.stable }
+
+// TrackerState is an exportable copy of a TargetTracker's hysteresis
+// state — the last observation, how many consecutive epochs it has held,
+// and the promoted stable set. The persistence layer stores it inside
+// epoch snapshots so a restarted server resumes mid-streak instead of
+// forgetting a partially confirmed attack. The promotion threshold
+// (stableAfter) is configuration, not state, and is deliberately absent:
+// it comes from NewTargetTracker on both sides of a restart.
+type TrackerState struct {
+	// Last is the canonical (sorted, deduped) previous observation.
+	Last []int
+	// Streak is how many consecutive epochs Last has been observed.
+	Streak int
+	// Stable is the currently promoted target set, nil when none is.
+	Stable []int
+}
+
+// State exports a deep copy of the tracker's hysteresis state.
+func (t *TargetTracker) State() TrackerState {
+	return TrackerState{
+		Last:   slices.Clone(t.last),
+		Streak: t.streak,
+		Stable: slices.Clone(t.stable),
+	}
+}
+
+// SetState replaces the tracker's hysteresis state with a deep copy of
+// st. Observations are canonicalized on the way in, so a state produced
+// by State restores bit-identically and a hand-built one is normalized
+// the same way Observe would have.
+func (t *TargetTracker) SetState(st TrackerState) error {
+	if st.Streak < 0 {
+		return fmt.Errorf("detect: negative observation streak %d", st.Streak)
+	}
+	t.last = canonicalTargets(st.Last)
+	t.streak = st.Streak
+	t.stable = canonicalTargets(st.Stable)
+	return nil
+}
 
 // canonicalTargets sorts and dedups an observation.
 func canonicalTargets(targets []int) []int {

@@ -56,6 +56,82 @@ func TestTargetTrackerPromotion(t *testing.T) {
 	}
 }
 
+// TestTrackerStateRoundTrip pins the export/import the persistence layer
+// uses: a tracker restored mid-streak must behave, observation for
+// observation, exactly like one that was never interrupted.
+func TestTrackerStateRoundTrip(t *testing.T) {
+	a, err := NewTargetTracker(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Observe([]int{4, 9})
+	a.Observe([]int{9, 4}) // streak 2 of 3: promotion is one epoch away
+
+	st := a.State()
+	if st.Streak != 2 || !reflect.DeepEqual(st.Last, []int{4, 9}) || st.Stable != nil {
+		t.Fatalf("exported state %+v", st)
+	}
+	// The export is a deep copy.
+	st.Last[0] = 99
+	if a.State().Last[0] == 99 {
+		t.Fatal("State shares its slices with the tracker")
+	}
+	st.Last[0] = 4
+
+	b, err := NewTargetTracker(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetState(st); err != nil {
+		t.Fatal(err)
+	}
+	// The import is a deep copy too.
+	st.Last[0] = 99
+	if b.State().Last[0] == 99 {
+		t.Fatal("SetState shares its argument's slices")
+	}
+
+	// Lockstep from here: the restored tracker promotes on the very next
+	// agreeing observation, exactly like the original.
+	for i, obs := range [][]int{{4, 9}, {4, 9}, nil, nil, nil} {
+		ga, gb := a.Observe(obs), b.Observe(obs)
+		if !reflect.DeepEqual(ga, gb) {
+			t.Fatalf("observation %d diverged: %v vs %v", i, ga, gb)
+		}
+	}
+	if !reflect.DeepEqual(a.State(), b.State()) {
+		t.Fatalf("final states diverged: %+v vs %+v", a.State(), b.State())
+	}
+}
+
+// TestTrackerSetStateValidation: hand-built states are normalized or
+// rejected the way Observe would have produced them.
+func TestTrackerSetStateValidation(t *testing.T) {
+	tr, err := NewTargetTracker(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetState(TrackerState{Streak: -1}); err == nil {
+		t.Fatal("negative streak accepted")
+	}
+	// Unsorted, duplicated, empty-but-non-nil inputs canonicalize.
+	if err := tr.SetState(TrackerState{
+		Last: []int{5, 1, 5}, Streak: 1, Stable: []int{},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.State(); !reflect.DeepEqual(st.Last, []int{1, 5}) || st.Stable != nil {
+		t.Fatalf("state not canonicalized: %+v", st)
+	}
+	if tr.Stable() != nil {
+		t.Fatal("empty stable set did not normalize to nil")
+	}
+	// One more agreeing observation completes the restored streak.
+	if got := tr.Observe([]int{1, 5}); !reflect.DeepEqual(got, []int{1, 5}) {
+		t.Fatalf("restored streak did not promote: %v", got)
+	}
+}
+
 // TestTargetTrackerStreakResets pins that the consecutive-agreement
 // counter restarts whenever the observation changes.
 func TestTargetTrackerStreakResets(t *testing.T) {

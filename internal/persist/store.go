@@ -1,0 +1,234 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ldprecover/internal/ldp"
+	"ldprecover/internal/stream"
+)
+
+// Options parameterizes a Store.
+type Options struct {
+	// SegmentBytes and SyncEvery are the WAL knobs; see WALOptions.
+	SegmentBytes int64
+	SyncEvery    int
+	// KeepSnapshots is how many snapshot generations to retain; zero
+	// selects 2 (the newest plus one fallback should the newest be
+	// damaged after the fact).
+	KeepSnapshots int
+}
+
+// DefaultKeepSnapshots is the retention when Options leaves
+// KeepSnapshots zero.
+const DefaultKeepSnapshots = 2
+
+// RestoreInfo summarizes what Open reconstructed.
+type RestoreInfo struct {
+	// SnapshotSeq is how many epochs the loaded snapshot had sealed; 0
+	// means no snapshot existed (cold start).
+	SnapshotSeq int
+	// ReplayedBatches and ReplayedReports count the WAL tail folded back
+	// into the live epoch.
+	ReplayedBatches int
+	ReplayedReports int64
+}
+
+// Store makes one EpochManager durable. Layout under its directory:
+//
+//	<dir>/wal/wal-<firstLSN>.seg   report-batch write-ahead log
+//	<dir>/snap/snap-<seq>.snap     per-seal state snapshots
+//
+// AppendBatch logs a report batch and folds it into the manager; Seal
+// closes the epoch, snapshots the manager's cross-epoch state with the
+// WAL position it reflects, and truncates the log up to the oldest
+// *retained* snapshot's position (so a fallback restore never misses
+// records). Append and Seal exclude each other (an RWMutex appenders
+// share), which is the invariant the snapshot depends on: every WAL
+// record at or below its recorded position is in the snapshot,
+// everything above belongs to the live epoch and is replayed on boot.
+//
+// Crash windows, for the record: a torn WAL append loses only the batch
+// being written (never acknowledged as aggregated); a crash mid-snapshot
+// leaves the previous snapshot in place (temp file + rename); a crash
+// between snapshot rename and WAL truncation double-applies nothing,
+// because replay skips records the snapshot position covers.
+type Store struct {
+	mgr  *stream.EpochManager
+	wal  *WAL
+	dir  string
+	opts Options
+
+	// mu: AppendBatch holds it shared (the WAL serializes appends, the
+	// manager handles concurrent AddBatch), Seal holds it exclusive so
+	// the snapshot sees every appended record applied.
+	mu       sync.RWMutex
+	closed   bool
+	restored RestoreInfo
+	// snaps are the retained snapshots, oldest first. WAL truncation
+	// stops at the oldest one's position, so a fallback restore (the
+	// newest snapshot damaged after the fact) still finds every record
+	// it needs — it loses the epoch boundaries sealed since the fallback,
+	// never the reports.
+	snaps []snapMeta
+}
+
+// Open makes mgr durable under dir: it loads the newest valid snapshot
+// into the (freshly constructed) manager, replays the WAL tail through
+// AddBatch to rebuild the live epoch, and leaves the log open for
+// appending. The restored manager serves window estimates bit-identical
+// to the pre-crash process.
+func Open(dir string, mgr *stream.EpochManager, opts Options) (*Store, error) {
+	if mgr == nil {
+		return nil, errors.New("persist: nil epoch manager")
+	}
+	if opts.KeepSnapshots == 0 {
+		opts.KeepSnapshots = DefaultKeepSnapshots
+	}
+	if opts.KeepSnapshots < 1 {
+		return nil, fmt.Errorf("persist: snapshot retention %d < 1", opts.KeepSnapshots)
+	}
+	snapDir := filepath.Join(dir, "snap")
+	if err := os.MkdirAll(snapDir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{mgr: mgr, dir: dir, opts: opts}
+
+	walSeq, state, found, err := LoadLatestSnapshot(snapDir)
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		if err := mgr.RestoreState(state); err != nil {
+			return nil, fmt.Errorf("persist: restoring snapshot: %w", err)
+		}
+		s.restored.SnapshotSeq = state.Seq
+	}
+	if s.snaps, err = validSnapshots(snapDir); err != nil {
+		return nil, err
+	}
+
+	s.wal, err = OpenWAL(filepath.Join(dir, "wal"), WALOptions{
+		SegmentBytes: opts.SegmentBytes,
+		SyncEvery:    opts.SyncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The surviving log must reach back to the restored position. A
+	// first-segment bound beyond walSeq+1 means records in between were
+	// truncated against a newer snapshot that no longer loads — booting
+	// anyway would silently drop them. (A log starting at LSN 1 is the
+	// tolerated lost-log case: nothing between the snapshot and it.)
+	if first := s.wal.FirstLSNBound(); first > walSeq+1 {
+		s.wal.Close()
+		return nil, fmt.Errorf("persist: WAL starts at LSN %d but the restored snapshot covers only LSN %d; "+
+			"records in between are gone", first, walSeq)
+	}
+	// If the log has been lost or wiped while a snapshot survived, fresh
+	// appends must not reuse LSNs the snapshot already covers.
+	s.wal.AdvanceTo(walSeq)
+
+	err = s.wal.Replay(walSeq, func(_ uint64, payload []byte) error {
+		reps, err := ldp.UnmarshalReportBatch(payload)
+		if err != nil {
+			return fmt.Errorf("persist: replaying WAL batch: %w", err)
+		}
+		if err := s.mgr.AddBatch(reps); err != nil {
+			return err
+		}
+		s.restored.ReplayedBatches++
+		s.restored.ReplayedReports += int64(len(reps))
+		return nil
+	})
+	if err != nil {
+		s.wal.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Restored reports what Open reconstructed.
+func (s *Store) Restored() RestoreInfo { return s.restored }
+
+// Manager returns the manager this store persists.
+func (s *Store) Manager() *stream.EpochManager { return s.mgr }
+
+// AppendBatch durably logs a report batch and folds it into the live
+// epoch. frame must be the ldp batch codec encoding of reps — servers
+// pass the wire bytes they already hold alongside the decoded reports,
+// so nothing is re-marshaled on the hot path. The batch is durable (per
+// the fsync policy) before it is aggregated; a crash in between replays
+// it on boot, which yields the same counts.
+func (s *Store) AppendBatch(frame []byte, reps []ldp.Report) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errors.New("persist: store is closed")
+	}
+	if _, err := s.wal.Append(frame); err != nil {
+		return err
+	}
+	return s.mgr.AddBatch(reps)
+}
+
+// Seal closes the live epoch, snapshots the manager's state, and
+// truncates the WAL up to the oldest retained snapshot's position. When
+// the in-memory seal succeeded but persisting did not, the estimate is
+// returned alongside the error so the caller can still serve it while
+// deciding whether a degraded-durability server should stay up.
+func (s *Store) Seal() (*stream.WindowEstimate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("persist: store is closed")
+	}
+	est, err := s.mgr.Seal()
+	if err != nil {
+		return nil, err
+	}
+	// With appenders excluded, everything in the WAL is in the manager:
+	// the log's last LSN is exactly the snapshot point.
+	walSeq := s.wal.LastLSN()
+	// Epoch boundaries always sync, whatever the append policy: with
+	// lazy fsync this bounds a power-loss to the live epoch's batches
+	// (everything sealed is durable), and under SyncEvery==1 the file is
+	// clean and the call is free.
+	if err := s.wal.Sync(); err != nil {
+		return est, err
+	}
+	state := s.mgr.SnapshotState()
+	if _, err := WriteSnapshot(filepath.Join(s.dir, "snap"), walSeq, state); err != nil {
+		return est, err
+	}
+	s.snaps = append(s.snaps, snapMeta{seq: state.Seq, walSeq: walSeq})
+	if len(s.snaps) > s.opts.KeepSnapshots {
+		s.snaps = s.snaps[len(s.snaps)-s.opts.KeepSnapshots:]
+	}
+	if err := pruneSnapshots(filepath.Join(s.dir, "snap"), s.opts.KeepSnapshots); err != nil {
+		return est, err
+	}
+	// Truncate only through the *oldest retained* snapshot's position:
+	// should the newest snapshot be damaged after the fact, the fallback
+	// restore still finds every record above its own position — it loses
+	// the epoch boundaries sealed since, never the reports.
+	if err := s.wal.TruncateThrough(s.snaps[0].walSeq); err != nil {
+		return est, err
+	}
+	return est, nil
+}
+
+// Close syncs and closes the WAL. The manager itself stays usable in
+// memory; further AppendBatch/Seal calls on the store fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.wal.Close()
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"ldprecover/internal/core"
@@ -317,11 +318,12 @@ func (m *EpochManager) estimateLocked(counts []int64, total int64, seq, epochs i
 	est := &WindowEstimate{Seq: seq, Epochs: epochs, Total: total}
 	if total == 0 {
 		// An empty window estimates nothing; a quiet epoch still counts
-		// toward demoting a stale target set.
+		// toward demoting a stale target set. Either way the estimate
+		// reports the stable set recovery would have used.
 		if advance {
-			est.Targets = m.tracker.Observe(nil)
-			est.PartialKnowledge = false
+			m.tracker.Observe(nil)
 		}
+		est.Targets = slices.Clone(m.tracker.Stable())
 		return est, nil
 	}
 	poisoned, err := ldp.Unbias(counts, total, m.cfg.Params)
@@ -351,7 +353,10 @@ func (m *EpochManager) estimateLocked(counts []int64, total int64, seq, epochs i
 		}
 		targets = m.tracker.Observe(flagged)
 	}
-	est.Targets = targets
+	// The tracker's slices are shared internal state (see detect's
+	// sharing contract); the estimate is published to JSON encoders that
+	// run concurrently with the next promotion, so it gets its own copy.
+	est.Targets = slices.Clone(targets)
 
 	prCore := core.Params{P: m.cfg.Params.P, Q: m.cfg.Params.Q, Domain: m.cfg.Params.Domain}
 	rec, err := core.Recover(poisoned, prCore, core.Options{Eta: m.cfg.Eta, Targets: targets})
@@ -435,6 +440,6 @@ func (m *EpochManager) Stats() Stats {
 		LiveTotal:     live,
 		WindowTotal:   m.winTotal,
 		IngestedTotal: m.sealed + live,
-		Targets:       m.tracker.Stable(),
+		Targets:       slices.Clone(m.tracker.Stable()),
 	}
 }

@@ -42,6 +42,7 @@ import (
 	"ldprecover/internal/kv"
 	"ldprecover/internal/ldp"
 	"ldprecover/internal/metrics"
+	"ldprecover/internal/persist"
 	"ldprecover/internal/rng"
 	"ldprecover/internal/stream"
 )
@@ -212,6 +213,39 @@ type (
 
 // NewEpochManager builds a streaming epoch manager.
 func NewEpochManager(cfg StreamConfig) (*EpochManager, error) { return stream.NewEpochManager(cfg) }
+
+// Durable serving (DESIGN.md §6): a DurableStore makes an EpochManager
+// crash-safe. Ingested report batches are appended to a CRC-framed
+// write-ahead log before they are aggregated, every seal atomically
+// snapshots the manager's cross-epoch state (sealed-epoch ring, sliding
+// window, recovered history, target-tracker hysteresis) and truncates
+// the log, and OpenDurableStore reconstructs the exact pre-crash serving
+// state from snapshot + WAL tail on boot — so a restart never forgets
+// the historical view that drives the LDPRecover* upgrade.
+type (
+	// DurableStore persists one EpochManager under a data directory.
+	DurableStore = persist.Store
+	// DurableOptions are the store's WAL and snapshot-retention knobs.
+	DurableOptions = persist.Options
+	// RestoreInfo summarizes what OpenDurableStore reconstructed.
+	RestoreInfo = persist.RestoreInfo
+	// ManagerState is the exportable cross-epoch state of an
+	// EpochManager, the unit snapshots carry.
+	ManagerState = stream.ManagerState
+	// TrackerState is the exportable TargetTracker hysteresis state.
+	TrackerState = detect.TrackerState
+)
+
+// OpenDurableStore makes a freshly constructed EpochManager durable
+// under dir: it loads the newest valid snapshot, replays the WAL tail
+// through AddBatch, and leaves the log open for appending.
+func OpenDurableStore(dir string, mgr *EpochManager, opts DurableOptions) (*DurableStore, error) {
+	return persist.Open(dir, mgr, opts)
+}
+
+// DefaultWALSegmentBytes is the WAL's segment rotation threshold when
+// DurableOptions leaves SegmentBytes zero.
+const DefaultWALSegmentBytes = persist.DefaultSegmentBytes
 
 // NewTargetTracker returns a tracker that promotes or demotes a target
 // set after stableAfter consecutive identical outlier observations.
