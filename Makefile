@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test race bench-smoke bench-json vet ci
+# Per-target budget for `make fuzz` — short on purpose: CI runs it on
+# every push, the committed seed corpora under testdata/fuzz/ double as
+# plain regression tests, and longer exploratory runs are a local
+# `FUZZTIME=10m make fuzz` away.
+FUZZTIME ?= 10s
+
+.PHONY: all build test race bench-smoke bench-json vet fuzz ci
 
 all: build test
 
@@ -18,10 +24,23 @@ test-full: build
 # Race-detector suite for the concurrent aggregation engine, the
 # epoch-streamed pipeline built on it, the persistence layer (WAL
 # appends race seals/snapshots), the trial runner, and the HTTP serving
-# layer (epoch sealing under concurrent ingest lives in internal/ldp and
-# internal/stream).
+# layer — single-node and cluster (epoch sealing under concurrent
+# ingest lives in internal/ldp and internal/stream; the tally merge
+# barrier and the cluster e2e live in internal/stream and
+# cmd/ldprecover).
 race:
 	$(GO) test -race ./internal/ldp/... ./internal/stream/... ./internal/persist/... ./internal/experiment/... ./cmd/ldprecover/...
+
+# Native Go fuzzing over every wire surface — report frames, batch
+# frames, sealed-tally frames, and WAL segment recovery. Each target
+# gets a short FUZZTIME budget (go's fuzzer accepts one target per
+# invocation); corrupt input must error, never panic. Seed corpora are
+# committed under testdata/fuzz/ and also run in plain `make test`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalReport$$'      -fuzztime $(FUZZTIME) ./internal/ldp
+	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalReportBatch$$' -fuzztime $(FUZZTIME) ./internal/ldp
+	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalTally$$'       -fuzztime $(FUZZTIME) ./internal/ldp
+	$(GO) test -run '^$$' -fuzz 'FuzzWALOpen$$'              -fuzztime $(FUZZTIME) ./internal/persist
 
 # One iteration of every benchmark: catches bit-rot in the paper figure
 # generators and the ingest benchmarks without burning CI minutes.
@@ -42,4 +61,4 @@ bench-json:
 vet:
 	$(GO) vet ./...
 
-ci: build vet test race
+ci: build vet test race fuzz

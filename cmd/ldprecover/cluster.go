@@ -1,0 +1,524 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"ldprecover"
+)
+
+// Cluster mode (DESIGN.md §7) splits `ldprecover serve` into two tiers:
+//
+//   - frontend nodes run the existing ingest pipeline (bounded queue,
+//     ShardedAccumulator, optional report-level WAL) over their slice of
+//     the user population, seal epochs on the shared epoch clock, and
+//     push each sealed epoch's tally to the root over the CRC-framed
+//     sealed-tally codec — retrying with backoff until the root's
+//     durably sealed watermark passes the tally's epoch;
+//   - the root accepts tallies on POST /v1/tally, dedupes them by
+//     (node, epoch), holds an epoch barrier until every expected
+//     frontend has delivered (or the straggler timeout forces a partial
+//     seal), and seals the merged counts into its EpochManager — so the
+//     served window estimates, recovered history, and LDPRecover*
+//     hysteresis run on exactly the union of reports.
+//
+// Because tally merging is exact integer addition and epochs seal in
+// clock order, the root's estimates are bit-identical to a single-node
+// server fed every report; TestClusterEquivalenceE2E pins that.
+
+// tallyResponse is the root's answer to a pushed tally.
+type tallyResponse struct {
+	// Duplicate reports that the tally had already been merged (or its
+	// epoch already sealed) and this submission changed nothing.
+	Duplicate bool `json:"duplicate"`
+	// SealedThrough is the root's sealed-epoch watermark — persisted
+	// when the root is durable — up to which frontends may prune their
+	// unacked tallies.
+	SealedThrough int `json:"sealed_through"`
+}
+
+// defaultPushInterval is how often a frontend re-pushes tallies the
+// root has accepted but not yet sealed past (tests shrink it).
+const defaultPushInterval = 500 * time.Millisecond
+
+// maxPushBackoff caps the exponential backoff after push failures.
+const maxPushBackoff = 5 * time.Second
+
+// tallyPusher is the frontend's delivery side: a FIFO of sealed tallies
+// retried in order until the root's sealed watermark covers them.
+// Delivery is at-least-once by construction — a tally is retained
+// through crashes by the frontend's durable epoch ring and re-enqueued
+// on boot — and the root's dedupe makes every re-send a no-op. The
+// queue is bounded to the ring's retention: a tally that outlives its
+// ring epoch would not survive a restart either, so during a root
+// outage longer than -history epochs the oldest pending tallies are
+// dropped (counted, logged) rather than growing memory without limit.
+type tallyPusher struct {
+	nodeID     string
+	rootURL    string
+	client     *http.Client
+	interval   time.Duration
+	maxPending int // 0: unbounded
+
+	mu       sync.Mutex
+	pending  []*ldprecover.Tally // unacked, epoch ascending
+	dropped  int64               // tallies evicted past maxPending
+	rootSeen int                 // highest sealed watermark any answer carried
+	lastErr  error               // most recent push failure, for stats/logs
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newTallyPusher(nodeID, rootURL string, interval time.Duration, maxPending int) *tallyPusher {
+	if interval <= 0 {
+		interval = defaultPushInterval
+	}
+	p := &tallyPusher{
+		nodeID:     nodeID,
+		rootURL:    rootURL,
+		client:     &http.Client{Timeout: 10 * time.Second},
+		interval:   interval,
+		maxPending: maxPending,
+		kick:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+// enqueue adds a sealed tally to the delivery queue and wakes the loop,
+// evicting the oldest pending tallies beyond the retention bound.
+func (p *tallyPusher) enqueue(t *ldprecover.Tally) {
+	p.mu.Lock()
+	p.pending = append(p.pending, t)
+	var evicted int
+	if p.maxPending > 0 && len(p.pending) > p.maxPending {
+		evicted = len(p.pending) - p.maxPending
+		p.pending = append([]*ldprecover.Tally(nil), p.pending[evicted:]...)
+		p.dropped += int64(evicted)
+	}
+	p.mu.Unlock()
+	if evicted > 0 {
+		fmt.Printf("tally queue full: dropped %d oldest undelivered epochs (root unreachable beyond -history retention)\n", evicted)
+	}
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// pendingCount returns how many tallies await the root's watermark.
+func (p *tallyPusher) pendingCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pending)
+}
+
+// droppedCount returns how many undelivered tallies retention evicted.
+func (p *tallyPusher) droppedCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// loop pushes pending tallies, re-checking every interval (the root
+// seals an epoch only once every frontend delivered, so "accepted but
+// not sealed" is the steady state between clock ticks) and backing off
+// exponentially when the root is unreachable.
+func (p *tallyPusher) loop() {
+	defer p.wg.Done()
+	backoff := p.interval
+	for {
+		select {
+		case <-p.done:
+			// Final flush with a deadline: a durable frontend re-sends on
+			// its next boot anyway, so an unreachable root must not hang
+			// shutdown. The pause applies after every unfinished pass —
+			// "accepted but not sealed yet" must wait for the other
+			// frontends' tallies, not hammer the root in a hot loop.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				p.pushAll()
+				if p.pendingCount() == 0 || !time.Now().Before(deadline) {
+					return
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+		case <-p.kick:
+		case <-time.After(backoff):
+		}
+		if p.pushAll() {
+			backoff = p.interval
+		} else if backoff = backoff * 2; backoff > maxPushBackoff {
+			backoff = maxPushBackoff
+		}
+	}
+}
+
+// pushAll attempts one delivery pass over the pending queue, oldest
+// first, pruning everything the root's watermark covers. It reports
+// whether every attempted push got an answer from the root.
+func (p *tallyPusher) pushAll() bool {
+	p.mu.Lock()
+	batch := append([]*ldprecover.Tally(nil), p.pending...)
+	p.mu.Unlock()
+	ok := true
+	watermark := -1
+	for _, t := range batch {
+		if t.Epoch < watermark {
+			continue // already covered by an earlier answer this pass
+		}
+		resp, err := p.pushOne(t)
+		if err != nil {
+			p.mu.Lock()
+			p.lastErr = err
+			p.mu.Unlock()
+			ok = false
+			break // preserve ordering; retry the whole tail later
+		}
+		watermark = resp.SealedThrough
+	}
+	if watermark >= 0 {
+		p.mu.Lock()
+		kept := p.pending[:0]
+		for _, t := range p.pending {
+			if t.Epoch >= watermark {
+				kept = append(kept, t)
+			}
+		}
+		p.pending = append([]*ldprecover.Tally(nil), kept...)
+		if watermark > p.rootSeen {
+			p.rootSeen = watermark
+		}
+		if ok {
+			p.lastErr = nil
+		}
+		p.mu.Unlock()
+	}
+	return ok
+}
+
+// rootWatermark returns the highest sealed-epoch watermark the root has
+// reported. The frontend fast-forwards its epoch clock to it before
+// sealing, so a node that fell behind the barrier (outage past the
+// straggler timeout, in-memory restart) rejoins the shared clock
+// instead of issuing stale indices forever.
+func (p *tallyPusher) rootWatermark() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rootSeen
+}
+
+// pushOne POSTs one tally frame to the root.
+func (p *tallyPusher) pushOne(t *ldprecover.Tally) (*tallyResponse, error) {
+	frame, err := ldprecover.MarshalTally(t)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.client.Post(p.rootURL+"/v1/tally", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("root answered %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var tr tallyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("decoding root answer: %v", err)
+	}
+	return &tr, nil
+}
+
+// close stops the loop after a bounded final flush.
+func (p *tallyPusher) close() error {
+	close(p.done)
+	p.wg.Wait()
+	if n := p.pendingCount(); n > 0 {
+		p.mu.Lock()
+		err := p.lastErr
+		p.mu.Unlock()
+		return fmt.Errorf("%d sealed tallies undelivered at shutdown (last error: %v); "+
+			"a durable frontend re-sends them on next boot", n, err)
+	}
+	return nil
+}
+
+// rootMerge is the root's barrier driver around a SealedMerger: it
+// seals complete epochs as they fill, arms the straggler timer while a
+// barrier is partially filled, persists each merged seal before
+// advancing the advertised watermark, and fail-stops the server when
+// persistence breaks (the PR 4 durability policy).
+type rootMerge struct {
+	merger  *ldprecover.SealedMerger
+	snaps   *ldprecover.SnapshotStore // nil when the root is in-memory
+	timeout time.Duration             // 0: wait for stragglers forever
+	fatal   func(error)
+
+	mu        sync.Mutex
+	timer     *time.Timer
+	persisted int // durably sealed watermark (== merger's when snaps == nil)
+}
+
+func newRootMerge(merger *ldprecover.SealedMerger, snaps *ldprecover.SnapshotStore,
+	timeout time.Duration, fatal func(error)) *rootMerge {
+	return &rootMerge{merger: merger, snaps: snaps, timeout: timeout, fatal: fatal,
+		persisted: merger.SealedThrough()}
+}
+
+// rootSealError marks a server-side seal/persist failure surfacing
+// through the tally path — a 500-class fault the server also
+// fail-stops on, as opposed to a client-visible tally rejection.
+type rootSealError struct{ err error }
+
+func (e rootSealError) Error() string { return e.err.Error() }
+func (e rootSealError) Unwrap() error { return e.err }
+
+// onTally folds one pushed tally, sealing through the barrier when the
+// tally completes it and arming the straggler timer when it starts a
+// new partial epoch.
+func (r *rootMerge) onTally(t *ldprecover.Tally) (tallyResponse, error) {
+	res, err := r.merger.MergeSealed(t)
+	if err != nil {
+		return tallyResponse{}, err
+	}
+	if res.Ready {
+		if err := r.seal(-1); err != nil {
+			r.fatal(err)
+			return tallyResponse{}, rootSealError{err}
+		}
+	} else if !res.Duplicate {
+		r.mu.Lock()
+		r.armTimerLocked()
+		r.mu.Unlock()
+	}
+	return tallyResponse{Duplicate: res.Duplicate, SealedThrough: r.watermark()}, nil
+}
+
+// seal drains the barrier: every complete epoch seals, and with
+// forceEpoch >= 0 the barrier epoch additionally seals partial — but
+// only while it still *is* epoch forceEpoch and tallies are actually
+// waiting. The guard is what makes a stale force harmless: a straggler
+// timer (or POST /v1/seal) that fired for epoch N but lost the race to
+// N's completing tally must not force-seal an empty N+1 — that would
+// advance the barrier past tallies still en route and turn an entire
+// epoch's re-sends into stale duplicates. Each merged seal is persisted
+// before the watermark moves, so frontends never prune a tally the root
+// could forget.
+func (r *rootMerge) seal(forceEpoch int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
+	for {
+		est, info, err := r.merger.TrySeal()
+		if err != nil {
+			return err
+		}
+		if est == nil {
+			if forceEpoch != r.merger.SealedThrough() || !r.merger.BarrierPending() {
+				break
+			}
+			forceEpoch = -1
+			if est, info, err = r.merger.SealPartial(); err != nil {
+				return err
+			}
+		}
+		if r.snaps != nil {
+			if err := r.snaps.Persist(); err != nil {
+				return fmt.Errorf("persisting merged epoch %d: %w", info.Epoch, err)
+			}
+		}
+		r.persisted = r.merger.SealedThrough()
+		if len(info.Missing) == 0 {
+			fmt.Printf("merged epoch %d: %d nodes / %d reports, window estimate seq %d\n",
+				info.Epoch, len(info.Nodes), info.Total, est.Seq)
+		} else {
+			fmt.Printf("merged epoch %d PARTIAL: merged %v, missing %v, %d reports\n",
+				info.Epoch, info.Nodes, info.Missing, info.Total)
+		}
+	}
+	r.armTimerLocked()
+	return nil
+}
+
+// armTimerLocked starts the straggler timer when a barrier is partially
+// filled and no timer runs; it disarms when nothing is pending. The
+// callback captures the epoch it was armed for, so a timer that fires
+// after its epoch sealed cannot force-seal the next one. The caller
+// holds r.mu.
+func (r *rootMerge) armTimerLocked() {
+	if !r.merger.BarrierPending() {
+		if r.timer != nil {
+			r.timer.Stop()
+			r.timer = nil
+		}
+		return
+	}
+	if r.timeout <= 0 || r.timer != nil {
+		return
+	}
+	armedFor := r.merger.SealedThrough()
+	r.timer = time.AfterFunc(r.timeout, func() {
+		r.mu.Lock()
+		r.timer = nil
+		r.mu.Unlock()
+		if err := r.seal(armedFor); err != nil {
+			r.fatal(err)
+		}
+	})
+}
+
+// watermark is the sealed-epoch count frontends may prune against: the
+// persisted one when the root is durable, the in-memory one otherwise.
+func (r *rootMerge) watermark() int {
+	if r.snaps == nil {
+		return r.merger.SealedThrough()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.persisted
+}
+
+// errNothingToSeal answers a forced seal on a root whose barrier is
+// empty and that has never sealed: there is no epoch to close and no
+// estimate to serve. It is an ordinary client-visible condition, not
+// the fail-stop kind of seal failure.
+var errNothingToSeal = errors.New("no tallies at the barrier and no merged epoch sealed yet")
+
+// forceSeal is the root's sealFn: POST /v1/seal force-closes the
+// barrier epoch if tallies are waiting there, then serves the merged
+// estimate. With nothing pending it never invents an empty epoch —
+// root epochs close on the frontends' clock, and advancing the barrier
+// past tallies still en route would discard them as stale.
+func (r *rootMerge) forceSeal() (*ldprecover.WindowEstimate, error) {
+	if err := r.seal(r.merger.SealedThrough()); err != nil {
+		return nil, err
+	}
+	if est := r.merger.Manager().Latest(); est != nil {
+		return est, nil
+	}
+	return nil, errNothingToSeal
+}
+
+// stop disarms the straggler timer (shutdown path).
+func (r *rootMerge) stop() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.timer != nil {
+		r.timer.Stop()
+		r.timer = nil
+	}
+	if r.snaps != nil {
+		return r.snaps.Close()
+	}
+	return nil
+}
+
+// handleTally is the root's ingest endpoint: one CRC-framed sealed
+// tally per POST.
+func (s *streamServer) handleTally(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a sealed tally frame")
+		return
+	}
+	if s.root == nil {
+		httpError(w, http.StatusNotFound, "this node is not a root; tallies go to the -role=root server")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "reading tally: %v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading tally: %v", err)
+		return
+	}
+	tally, err := ldprecover.UnmarshalTally(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding tally: %v", err)
+		return
+	}
+	resp, err := s.root.onTally(tally)
+	if err != nil {
+		// Seal/persist failures are server faults (and fail-stop the
+		// server); only tally validation is the client's problem.
+		var sealErr rootSealError
+		if errors.As(err, &sealErr) {
+			httpError(w, http.StatusInternalServerError, "sealing merged epoch: %v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "merging tally from %q: %v", tally.NodeID, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// clusterStatsResponse is the role-specific stats section.
+type clusterStatsResponse struct {
+	Role string `json:"role"`
+	// Frontend fields.
+	NodeID         string `json:"node_id,omitempty"`
+	RootAddr       string `json:"root_addr,omitempty"`
+	PendingTallies int    `json:"pending_tallies,omitempty"`
+	DroppedTallies int64  `json:"dropped_tallies,omitempty"`
+	// Root fields.
+	Nodes         []string              `json:"nodes,omitempty"`
+	SealedThrough int                   `json:"sealed_through,omitempty"`
+	Duplicates    int64                 `json:"duplicates,omitempty"`
+	Merged        []mergedEpochResponse `json:"merged,omitempty"`
+}
+
+// mergedEpochResponse is one sealed epoch's partial-epoch accounting.
+type mergedEpochResponse struct {
+	Epoch      int      `json:"epoch"`
+	Nodes      []string `json:"nodes,omitempty"`
+	Missing    []string `json:"missing,omitempty"`
+	Total      int64    `json:"total"`
+	Duplicates int      `json:"duplicates,omitempty"`
+}
+
+// clusterStats builds the role section of /v1/stats, nil in single-node
+// mode.
+func (s *streamServer) clusterStats() *clusterStatsResponse {
+	switch {
+	case s.pusher != nil:
+		return &clusterStatsResponse{
+			Role:           "frontend",
+			NodeID:         s.pusher.nodeID,
+			RootAddr:       s.pusher.rootURL,
+			PendingTallies: s.pusher.pendingCount(),
+			DroppedTallies: s.pusher.droppedCount(),
+		}
+	case s.root != nil:
+		cs := &clusterStatsResponse{
+			Role:          "root",
+			Nodes:         s.root.merger.Nodes(),
+			SealedThrough: s.root.watermark(),
+			Duplicates:    s.root.merger.Duplicates(),
+		}
+		for _, m := range s.root.merger.Merged() {
+			cs.Merged = append(cs.Merged, mergedEpochResponse{
+				Epoch: m.Epoch, Nodes: m.Nodes, Missing: m.Missing,
+				Total: m.Total, Duplicates: m.Duplicates,
+			})
+		}
+		return cs
+	default:
+		return nil
+	}
+}

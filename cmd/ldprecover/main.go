@@ -7,13 +7,17 @@
 //	ldprecover demo    -corpus ipums -protocol oue -attack mga -beta 0.05
 //	ldprecover recover -in poisoned.csv -protocol grr -epsilon 0.5 [-targets 3,7]
 //	ldprecover serve   -protocol oue -d 128 -epsilon 0.5 -epoch 1m -window 4
+//	ldprecover serve   -role=root -nodes fe-0,fe-1,fe-2 -tally-timeout 30s
+//	ldprecover serve   -role=frontend -node-id fe-0 -root-addr http://root:8347
 //
 // demo runs the whole pipeline on a synthetic corpus and prints
 // before/after metrics; recover post-processes an existing poisoned
 // frequency vector (CSV rows "item,frequency"); serve runs the
 // epoch-streamed recovery service (HTTP ingest of report batches,
 // per-window poisoned vs. recovered estimates — see README "Serving
-// mode").
+// mode"), either single-node or as a scale-out cluster of frontend
+// ingest nodes pushing sealed tallies to a root merger (README
+// "Scale-out serving", DESIGN.md §7).
 package main
 
 import (

@@ -4,13 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -47,6 +50,14 @@ import (
 // estimates bit-identical to an uninterrupted run — including the
 // recovered-baseline history and target-tracker hysteresis that drive
 // the LDPRecover* upgrade, which an in-memory server forgets.
+//
+// With -role the server joins a two-tier cluster (DESIGN.md §7):
+// -role=frontend ingests reports as above but pushes every sealed
+// epoch's tally to -root-addr instead of identifying targets itself;
+// -role=root accepts those tallies on POST /v1/tally, merges them
+// behind an epoch barrier over the -nodes set (with a -tally-timeout
+// straggler policy), and serves estimates bit-identical to a single
+// node that saw every report.
 func runServe(args []string) error {
 	fs := newFlagSet("serve")
 	var (
@@ -67,8 +78,19 @@ func runServe(args []string) error {
 		dataDir  = fs.String("data-dir", "", "durable state directory: WAL + per-seal snapshots (empty: in-memory only)")
 		fsyncN   = fs.Int("fsync-every", 1, "fsync the WAL every n-th batch (negative: only at epoch seals)")
 		walSeg   = fs.Int64("wal-segment", ldprecover.DefaultWALSegmentBytes, "WAL segment rotation size in bytes")
+		role     = fs.String("role", "", "cluster role: frontend (ingest + push sealed tallies) or root (merge tallies); empty: single node")
+		rootAddr = fs.String("root-addr", "", "frontend: the root node's base URL, e.g. http://10.0.0.1:8347")
+		nodeID   = fs.String("node-id", "", "frontend: unique node id; the root dedupes tallies by (node id, epoch)")
+		nodesF   = fs.String("nodes", "", "root: comma-separated expected frontend node ids (the epoch barrier set)")
+		tallyTO  = fs.Duration("tally-timeout", 30*time.Second, "root: straggler timeout before a partial epoch seal (0: wait forever)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	nodes, err := validateClusterFlags(*role, *rootAddr, *nodeID, *nodesF, *tallyTO, explicit)
+	if err != nil {
 		return err
 	}
 	// Validate what would otherwise pass through silently or surface as
@@ -106,6 +128,11 @@ func runServe(args []string) error {
 		DataDir:      *dataDir,
 		SyncEvery:    *fsyncN,
 		SegmentBytes: *walSeg,
+		Role:         *role,
+		NodeID:       *nodeID,
+		RootAddr:     *rootAddr,
+		Nodes:        nodes,
+		TallyTimeout: *tallyTO,
 	})
 	if err != nil {
 		return err
@@ -114,6 +141,10 @@ func runServe(args []string) error {
 		ri := srv.store.Restored()
 		fmt.Printf("durable state in %s: restored %d sealed epochs, replayed %d batches / %d reports\n",
 			*dataDir, ri.SnapshotSeq, ri.ReplayedBatches, ri.ReplayedReports)
+	}
+	if srv.root != nil && srv.root.snaps != nil {
+		fmt.Printf("root state in %s: restored %d merged epochs\n",
+			*dataDir, srv.root.snaps.Restored().SnapshotSeq)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -127,7 +158,9 @@ func runServe(args []string) error {
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
-	if *epoch > 0 {
+	if *epoch > 0 && srv.root == nil {
+		// A root has no epoch ticker: its epochs close on the frontends'
+		// shared clock, via tally barriers and the straggler timeout.
 		ticker = time.NewTicker(*epoch)
 		tick = ticker.C
 		defer ticker.Stop()
@@ -136,10 +169,108 @@ func runServe(args []string) error {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
 
-	fmt.Printf("serving %s (d=%d, epsilon=%g) on http://%s  epoch=%s window=%d\n",
-		proto.Name(), *d, *eps, ln.Addr(), *epoch, *window)
+	switch *role {
+	case roleFrontend:
+		fmt.Printf("frontend %q serving %s (d=%d, epsilon=%g) on http://%s  epoch=%s, pushing sealed tallies to %s\n",
+			*nodeID, proto.Name(), *d, *eps, ln.Addr(), *epoch, *rootAddr)
+	case roleRoot:
+		fmt.Printf("root serving %s (d=%d, epsilon=%g) on http://%s  merging %d frontends %v, straggler timeout %s\n",
+			proto.Name(), *d, *eps, ln.Addr(), len(nodes), nodes, *tallyTO)
+	default:
+		fmt.Printf("serving %s (d=%d, epsilon=%g) on http://%s  epoch=%s window=%d\n",
+			proto.Name(), *d, *eps, ln.Addr(), *epoch, *window)
+	}
 
 	return serveLoop(hs, srv, tick, sigc, errc)
+}
+
+// Cluster role names for -role.
+const (
+	roleFrontend = "frontend"
+	roleRoot     = "root"
+)
+
+// validateClusterFlags rejects inconsistent cluster configurations up
+// front, naming the flags (the PR 4 validation style): every error a
+// misconfigured node would otherwise hit mid-flight — a frontend with
+// no root, a root with no barrier set, role-specific flags on the wrong
+// role — fails at startup instead. It returns the parsed -nodes set.
+func validateClusterFlags(role, rootAddr, nodeID, nodesF string, tallyTO time.Duration,
+	explicit map[string]bool) ([]string, error) {
+	switch role {
+	case "", roleFrontend, roleRoot:
+	default:
+		return nil, fmt.Errorf("-role %q is not one of frontend, root (or empty for single-node)", role)
+	}
+	if role != roleFrontend {
+		want := "-role=frontend"
+		if role == roleRoot {
+			want = "a frontend, not -role=root"
+		}
+		if explicit["root-addr"] {
+			return nil, fmt.Errorf("-root-addr is a frontend flag: sealed tallies are pushed by %s", want)
+		}
+		if explicit["node-id"] {
+			return nil, fmt.Errorf("-node-id is a frontend flag: the root dedupes by it, %s supplies it", want)
+		}
+	}
+	if role != roleRoot {
+		if explicit["nodes"] {
+			return nil, fmt.Errorf("-nodes is a root flag (the epoch barrier set); it needs -role=root")
+		}
+		if explicit["tally-timeout"] {
+			return nil, fmt.Errorf("-tally-timeout is a root flag (straggler policy); it needs -role=root")
+		}
+	}
+	switch role {
+	case roleFrontend:
+		// Target identification runs on the root, over the merged view; a
+		// partition-local z-score would silently drift from it. Reject the
+		// flags rather than silently overriding them.
+		for _, f := range []string{"targets", "minz", "stable"} {
+			if explicit[f] {
+				return nil, fmt.Errorf("-%s configures target identification, which -role=frontend delegates to the root; set it there", f)
+			}
+		}
+		if rootAddr == "" {
+			return nil, fmt.Errorf("-role=frontend requires -root-addr (the root node's base URL)")
+		}
+		if u, err := url.Parse(rootAddr); err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+			return nil, fmt.Errorf("-root-addr %q is not an http(s) base URL like http://10.0.0.1:8347", rootAddr)
+		}
+		if nodeID == "" {
+			return nil, fmt.Errorf("-role=frontend requires -node-id (unique per frontend; the root dedupes tallies by it)")
+		}
+		if len(nodeID) > 256 {
+			return nil, fmt.Errorf("-node-id of %d bytes exceeds the tally codec's 256-byte cap", len(nodeID))
+		}
+		return nil, nil
+	case roleRoot:
+		if explicit["epoch"] {
+			return nil, fmt.Errorf("-epoch is the frontends' shared clock; a root's epochs close on tally barriers and -tally-timeout")
+		}
+		if nodesF == "" {
+			return nil, fmt.Errorf("-role=root requires -nodes (comma-separated frontend node ids forming the epoch barrier)")
+		}
+		if tallyTO < 0 {
+			return nil, fmt.Errorf("-tally-timeout %s is negative; use 0 to wait for stragglers forever", tallyTO)
+		}
+		var nodes []string
+		seen := make(map[string]bool)
+		for _, n := range strings.Split(nodesF, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				return nil, fmt.Errorf("-nodes %q lists an empty node id", nodesF)
+			}
+			if seen[n] {
+				return nil, fmt.Errorf("-nodes lists %q twice; node ids must be unique", n)
+			}
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+		return nodes, nil
+	}
+	return nil, nil
 }
 
 // serveLoop runs the epoch ticker / shutdown select around a listening
@@ -194,7 +325,7 @@ func shutdownAndDrain(hs *http.Server, srv *streamServer, errc <-chan error, rep
 // closes the durable store.
 func drainAndClose(srv *streamServer, report bool) error {
 	final, err := srv.drain()
-	if err == nil && report {
+	if err == nil && report && final != nil {
 		fmt.Printf("final epoch %d sealed: window of %d epochs / %d reports\n",
 			final.Seq, final.Epochs, final.Total)
 	}
@@ -208,9 +339,24 @@ type streamServerConfig struct {
 	Ingesters int
 	MaxBody   int64
 	// DataDir enables durable mode; empty keeps all state in memory.
+	// Frontends and single nodes keep a report-level WAL + per-seal
+	// snapshots; a root keeps per-seal snapshots of the merged state
+	// only (its inputs are re-sent tallies, not report batches).
 	DataDir      string
 	SyncEvery    int
 	SegmentBytes int64
+	// Role selects cluster mode: "" (single node), "frontend" (push
+	// sealed tallies to RootAddr as NodeID), or "root" (merge tallies
+	// from the Nodes barrier set, forcing partial seals after
+	// TallyTimeout).
+	Role         string
+	NodeID       string
+	RootAddr     string
+	Nodes        []string
+	TallyTimeout time.Duration
+	// PushInterval is the frontend's re-push cadence; zero selects
+	// defaultPushInterval (tests shrink it).
+	PushInterval time.Duration
 }
 
 // ingestBatch is one queued POST /v1/reports body: the decoded reports
@@ -230,6 +376,16 @@ type streamServer struct {
 	queue   chan ingestBatch
 	wg      sync.WaitGroup
 	maxBody int64
+
+	// pusher is set on frontends: sealed epochs enqueue here and are
+	// delivered to the root at-least-once. root is set on roots: the
+	// barrier driver behind POST /v1/tally. Both nil on a single node.
+	pusher *tallyPusher
+	root   *rootMerge
+	// sealOnDrain: a shutdown drain seals the final epoch — except on a
+	// root, whose epochs close on the frontends' clock; sealing there
+	// would advance the barrier past tallies still en route.
+	sealOnDrain bool
 
 	// sealMu serializes seals so ticker, /v1/seal and drain cannot
 	// interleave epoch boundaries.
@@ -264,17 +420,46 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 	if cfg.MaxBody < 64 {
 		return nil, fmt.Errorf("max body %d bytes is below a single report frame", cfg.MaxBody)
 	}
+	switch cfg.Role {
+	case "", roleFrontend, roleRoot:
+	default:
+		return nil, fmt.Errorf("unknown cluster role %q", cfg.Role)
+	}
+	if cfg.Role == roleFrontend {
+		// Frontends never identify targets: they see only their slice of
+		// the population, and a partition-local z-score would drift from
+		// the merged view. Detection runs on the root, over the union.
+		cfg.Stream.TargetK = -1
+	}
 	mgr, err := ldprecover.NewEpochManager(cfg.Stream)
 	if err != nil {
 		return nil, err
 	}
 	s := &streamServer{
-		mgr:     mgr,
-		queue:   make(chan ingestBatch, cfg.QueueLen),
-		maxBody: cfg.MaxBody,
-		fatalc:  make(chan error, 1),
+		mgr:         mgr,
+		queue:       make(chan ingestBatch, cfg.QueueLen),
+		maxBody:     cfg.MaxBody,
+		fatalc:      make(chan error, 1),
+		sealOnDrain: cfg.Role != roleRoot,
 	}
-	if cfg.DataDir != "" {
+	switch {
+	case cfg.Role == roleRoot:
+		var snaps *ldprecover.SnapshotStore
+		if cfg.DataDir != "" {
+			// Restore before the merger exists: the barrier resumes at
+			// the restored sealed-epoch watermark.
+			snaps, err = ldprecover.OpenSnapshotStore(cfg.DataDir, mgr, 0)
+			if err != nil {
+				return nil, fmt.Errorf("-role=root with -data-dir %s: %w", cfg.DataDir, err)
+			}
+		}
+		merger, err := ldprecover.NewSealedMerger(mgr, cfg.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		s.root = newRootMerge(merger, snaps, cfg.TallyTimeout, s.reportFatal)
+		s.sealFn = s.root.forceSeal
+	case cfg.DataDir != "":
 		s.store, err = ldprecover.OpenDurableStore(cfg.DataDir, mgr, ldprecover.DurableOptions{
 			SegmentBytes: cfg.SegmentBytes,
 			SyncEvery:    cfg.SyncEvery,
@@ -283,8 +468,44 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 			return nil, err
 		}
 		s.sealFn = s.store.Seal
-	} else {
+	default:
 		s.sealFn = mgr.Seal
+	}
+	if cfg.Role == roleFrontend {
+		// The delivery queue's bound is the sealed-epoch ring's retention:
+		// a tally older than the ring would not survive a restart either.
+		s.pusher = newTallyPusher(cfg.NodeID, cfg.RootAddr, cfg.PushInterval, mgr.Config().History)
+		// Every seal also enqueues the sealed epoch's tally for delivery.
+		// The clock resync first: if the root has sealed past this node's
+		// counter — it was down past the straggler timeout, or restarted
+		// without durable state — the next epoch rejoins the shared clock
+		// at the root's watermark instead of issuing stale indices the
+		// root would dedupe forever (the skipped indices have no epoch
+		// from this node, which is the truth).
+		base := s.sealFn
+		nodeID := cfg.NodeID
+		s.sealFn = func() (*ldprecover.WindowEstimate, error) {
+			s.mgr.AdvanceEpochTo(s.pusher.rootWatermark())
+			est, err := base()
+			if err != nil {
+				return est, err
+			}
+			if eps := mgr.Epochs(); len(eps) > 0 {
+				last := eps[len(eps)-1]
+				s.pusher.enqueue(&ldprecover.Tally{
+					NodeID: nodeID, Epoch: last.Seq, Counts: last.Counts, Total: last.Total,
+				})
+			}
+			return est, nil
+		}
+		// At-least-once across restarts: re-send every retained sealed
+		// epoch (the restored ring, on a durable frontend); the root
+		// dedupes what it has already merged.
+		for _, ep := range mgr.Epochs() {
+			s.pusher.enqueue(&ldprecover.Tally{
+				NodeID: nodeID, Epoch: ep.Seq, Counts: ep.Counts, Total: ep.Total,
+			})
+		}
 	}
 	for i := 0; i < cfg.Ingesters; i++ {
 		s.wg.Add(1)
@@ -318,10 +539,20 @@ func (s *streamServer) ingest(b ingestBatch) error {
 func (s *streamServer) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reports", s.handleReports)
+	mux.HandleFunc("/v1/tally", s.handleTally)
 	mux.HandleFunc("/v1/seal", s.handleSeal)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
+}
+
+// reportFatal hands a handler- or timer-observed fatal error to
+// serveLoop, which fail-stops the server.
+func (s *streamServer) reportFatal(err error) {
+	select {
+	case s.fatalc <- err:
+	default:
+	}
 }
 
 // seal closes the current epoch under the seal lock (persisting it in
@@ -333,7 +564,10 @@ func (s *streamServer) seal() (*ldprecover.WindowEstimate, error) {
 }
 
 // drain closes the ingest queue, waits for the workers to fold every
-// queued batch, and seals the final epoch.
+// queued batch, and seals the final epoch. A root skips the seal (nil
+// estimate): its epochs close on the frontends' shared clock, and
+// sealing at shutdown would advance the barrier past tallies still en
+// route, turning their re-sends into stale duplicates.
 func (s *streamServer) drain() (*ldprecover.WindowEstimate, error) {
 	s.drainMu.Lock()
 	if s.draining {
@@ -344,15 +578,27 @@ func (s *streamServer) drain() (*ldprecover.WindowEstimate, error) {
 	s.drainMu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
+	if !s.sealOnDrain {
+		return nil, nil
+	}
 	return s.seal()
 }
 
-// close releases the durable store (a no-op in memory-only mode).
+// close releases the role-specific machinery: the frontend's pusher
+// (after a bounded final flush), the root's straggler timer and
+// snapshot store, the durable store.
 func (s *streamServer) close() error {
-	if s.store != nil {
-		return s.store.Close()
+	var errs []error
+	if s.pusher != nil {
+		errs = append(errs, s.pusher.close())
 	}
-	return nil
+	if s.root != nil {
+		errs = append(errs, s.root.stop())
+	}
+	if s.store != nil {
+		errs = append(errs, s.store.Close())
+	}
+	return errors.Join(errs...)
 }
 
 // httpError writes a plain-text error status.
@@ -377,6 +623,11 @@ type ingestResponse struct {
 func (s *streamServer) handleReports(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST a report batch")
+		return
+	}
+	if s.root != nil {
+		httpError(w, http.StatusConflict,
+			"this node runs -role=root: it ingests sealed tallies on /v1/tally; POST report batches to a frontend")
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
@@ -454,14 +705,17 @@ func (s *streamServer) handleSeal(w http.ResponseWriter, r *http.Request) {
 	}
 	est, err := s.seal()
 	if err != nil {
+		if errors.Is(err, errNothingToSeal) {
+			// A root with an empty barrier has nothing to close — an
+			// ordinary client-visible condition, not broken durability.
+			httpError(w, http.StatusConflict, "sealing: %v", err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "sealing: %v", err)
 		// A failed seal is as fatal here as on the ticker path: tell the
 		// serve loop so the server shuts down and drains instead of
 		// accepting reports forever with broken durability.
-		select {
-		case s.fatalc <- err:
-		default:
-		}
+		s.reportFatal(err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toEstimateResponse(est))
@@ -505,6 +759,9 @@ type statsResponse struct {
 	QueueDepth      int   `json:"queue_depth"`
 	BatchesAccepted int64 `json:"batches_accepted"`
 	BatchesRejected int64 `json:"batches_rejected"`
+	// Cluster is the role-specific section: the frontend's push state
+	// or the root's barrier/merge accounting. Omitted on a single node.
+	Cluster *clusterStatsResponse `json:"cluster,omitempty"`
 }
 
 func (s *streamServer) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -523,5 +780,6 @@ func (s *streamServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:      len(s.queue),
 		BatchesAccepted: s.accepted.Load(),
 		BatchesRejected: s.rejected.Load(),
+		Cluster:         s.clusterStats(),
 	})
 }

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"ldprecover/internal/rng"
+)
+
+// Metamorphic properties of the recovery math — relations between runs
+// that must hold for every input, complementing the pointwise golden
+// tests:
+//
+//  1. near-identity: recovering an unpoisoned estimate moves it by at
+//     most O(η) in L∞ (the estimator deducts at most η·f̃_Y mass, and
+//     the simplex refinement is a projection — non-expansive);
+//  2. permutation equivariance: relabeling the items and recovering
+//     commutes with recovering and then relabeling;
+//  3. simplex membership: whatever the (finite) input, recovered
+//     frequencies are non-negative and sum to one.
+
+// metaParams are OUE-shaped recovery parameters over domain d.
+func metaParams(d int) Params {
+	return Params{P: 0.5, Q: 0.25, Domain: d}
+}
+
+// randomSimplex draws a random frequency vector on the simplex.
+func randomSimplex(r *rng.Rand, d int) []float64 {
+	f := make([]float64, d)
+	var sum float64
+	for v := range f {
+		f[v] = -math.Log(1 - r.Float64()) // Exp(1); normalized below
+		sum += f[v]
+	}
+	for v := range f {
+		f[v] /= sum
+	}
+	return f
+}
+
+// randomEstimate draws an unbiased-estimator-shaped vector: simplex
+// frequencies plus zero-mean noise, so entries can be negative and the
+// sum drifts from one — exactly what Unbias produces on real counts.
+func randomEstimate(r *rng.Rand, d int, noise float64) []float64 {
+	f := randomSimplex(r, d)
+	for v := range f {
+		f[v] += noise * (r.Float64() - 0.5)
+	}
+	return f
+}
+
+// TestRecoverUnpoisonedNearIdentityProperty: on clean estimates,
+// recovery must be (within an O(η) tolerance) the identity — the
+// defense must not destroy what it protects when no attack is present.
+func TestRecoverUnpoisonedNearIdentityProperty(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 50; trial++ {
+		d := 8 + int(r.Uint64()%120)
+		pr := metaParams(d)
+		clean := randomSimplex(r, d)
+		for _, eta := range []float64{0.01, 0.05, 0.2} {
+			res, err := Recover(clean, pr, Options{Eta: eta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The estimator moves each entry by at most η·(f̃_Z + f̃_Y)
+			// ≤ η·(max f̃_Z + 1) before refinement, and the simplex
+			// projection can redistribute that drift across the domain;
+			// 2η (+ slack for the projection's uniform shift) bounds the
+			// per-item motion comfortably while still failing if
+			// recovery ever scales or shuffles a clean estimate.
+			tol := 2*eta + 1e-9
+			for v := range clean {
+				if diff := math.Abs(res.Frequencies[v] - clean[v]); diff > tol {
+					t.Fatalf("trial %d d=%d eta=%g: recovery moved clean f[%d] by %g (> %g)",
+						trial, d, eta, v, diff, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestRecoverPermutationEquivarianceProperty: item labels carry no
+// information, so recovery must commute with any relabeling — for both
+// LDPRecover and LDPRecover* (with the target set relabeled alongside).
+// Tolerance instead of bit equality: summations run in permuted order.
+func TestRecoverPermutationEquivarianceProperty(t *testing.T) {
+	const tol = 1e-9
+	r := rng.New(43)
+	for trial := 0; trial < 25; trial++ {
+		d := 8 + int(r.Uint64()%60)
+		pr := metaParams(d)
+		poisoned := randomEstimate(r, d, 0.1)
+
+		perm := make([]int, d) // perm[i] = where item i lands
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := d - 1; i > 0; i-- {
+			j := int(r.Uint64() % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		permute := func(f []float64) []float64 {
+			out := make([]float64, d)
+			for i, v := range f {
+				out[perm[i]] = v
+			}
+			return out
+		}
+
+		var targets []int
+		if trial%2 == 1 { // alternate LDPRecover and LDPRecover*
+			targets = []int{1, 4}
+		}
+		res, err := Recover(poisoned, pr, Options{Targets: targets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var permTargets []int
+		for _, v := range targets {
+			permTargets = append(permTargets, perm[v])
+		}
+		permRes, err := Recover(permute(poisoned), pr, Options{Targets: permTargets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := permute(res.Frequencies)
+		for v := range want {
+			if diff := math.Abs(permRes.Frequencies[v] - want[v]); diff > tol {
+				t.Fatalf("trial %d d=%d targets=%v: recovery not permutation-equivariant at %d (|Δ|=%g)",
+					trial, d, targets, v, diff)
+			}
+		}
+	}
+}
+
+// TestRecoverSimplexMembershipProperty: for any finite input — noisy,
+// negative-entry, badly scaled — and any recovery mode, the output is a
+// probability distribution: non-negative entries summing to one.
+func TestRecoverSimplexMembershipProperty(t *testing.T) {
+	r := rng.New(47)
+	for trial := 0; trial < 100; trial++ {
+		d := 4 + int(r.Uint64()%250)
+		pr := metaParams(d)
+		// Escalating distortion: light LDP noise through wildly invalid
+		// "estimates" an attacker or a bug could hand the recoverer.
+		noise := []float64{0.05, 0.5, 3}[trial%3]
+		poisoned := randomEstimate(r, d, noise)
+		opts := Options{}
+		switch trial % 4 {
+		case 1:
+			opts.Targets = []int{0, d / 2, d - 1}
+		case 2:
+			opts.Eta = 0.9
+		case 3:
+			opts.MaliciousOverride = randomSimplex(r, d)
+		}
+		res, err := Recover(poisoned, pr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for v, f := range res.Frequencies {
+			if f < 0 || math.IsNaN(f) {
+				t.Fatalf("trial %d d=%d opts=%+v: recovered f[%d] = %g off the simplex",
+					trial, d, opts, v, f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("trial %d d=%d: recovered frequencies sum to %g", trial, d, sum)
+		}
+		// Determinism sanity alongside: the same input recovers to the
+		// same bits (the cluster equivalence guarantee leans on this).
+		again, err := Recover(poisoned, pr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(again.Frequencies, res.Frequencies) {
+			t.Fatalf("trial %d: recovery is not deterministic", trial)
+		}
+	}
+}

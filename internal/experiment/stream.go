@@ -49,6 +49,13 @@ type StreamScenario struct {
 	MinHistory  int
 	// Eta is LDPRecover's assumed malicious/genuine ratio.
 	Eta float64
+	// Frontends splits each epoch's population across this many
+	// frontend ingest nodes whose sealed tallies merge at a root
+	// through the epoch barrier (the scale-out collection tier,
+	// DESIGN.md §7); <= 1 runs the single-node pipeline. The per-epoch
+	// metrics are bit-identical either way — tally merging is exact —
+	// which TestRunStreamClusterEquivalence pins.
+	Frontends int
 	// Seed drives the whole stream deterministically.
 	Seed uint64
 }
@@ -103,6 +110,9 @@ func (s StreamScenario) validate() error {
 	}
 	if s.RampEpochs < 1 {
 		return fmt.Errorf("experiment: ramp of %d epochs", s.RampEpochs)
+	}
+	if s.Frontends < 0 || s.Frontends > 1<<10 {
+		return fmt.Errorf("experiment: %d frontends outside [0, %d]", s.Frontends, 1<<10)
 	}
 	return nil
 }
@@ -177,29 +187,66 @@ func RunStream(s StreamScenario) (*StreamMetrics, error) {
 		return nil, err
 	}
 
+	// Cluster mode: a merger in front of the manager, fed one tally per
+	// frontend per epoch. The epoch's aggregate is simulated once and
+	// partitioned afterwards, exactly as disjoint user populations would
+	// partition it, so single-node and cluster runs consume the same
+	// randomness and must produce the same bits.
+	var merger *stream.SealedMerger
+	var feNodes []string
+	if s.Frontends > 1 {
+		feNodes = make([]string, s.Frontends)
+		for i := range feNodes {
+			feNodes[i] = fmt.Sprintf("fe-%d", i)
+		}
+		if merger, err = stream.NewSealedMerger(mgr, feNodes); err != nil {
+			return nil, err
+		}
+	}
+
 	out := &StreamMetrics{TrueTargets: targets, StarEngagedAt: -1}
 	var cleanEst []float64
 	for e := 0; e < s.Epochs; e++ {
-		genuine, err := ldp.BatchSimulate(proto, r, s.Dataset.Counts, 1)
+		union, err := ldp.BatchSimulate(proto, r, s.Dataset.Counts, 1)
 		if err != nil {
 			return nil, err
 		}
-		if err := mgr.AddCounts(genuine, n); err != nil {
-			return nil, err
-		}
+		total := n
 		m := maliciousCount(n, s.rampBeta(e))
 		if m > 0 {
 			mal, err := mga.CraftCounts(r, proto, m)
 			if err != nil {
 				return nil, err
 			}
-			if err := mgr.AddCounts(mal, m); err != nil {
+			for v, c := range mal {
+				union[v] += c
+			}
+			total += m
+		}
+		var est *stream.WindowEstimate
+		if merger == nil {
+			if err := mgr.AddCounts(union, total); err != nil {
 				return nil, err
 			}
-		}
-		est, err := mgr.Seal()
-		if err != nil {
-			return nil, err
+			if est, err = mgr.Seal(); err != nil {
+				return nil, err
+			}
+		} else {
+			parts, totals := splitCounts(union, total, s.Frontends)
+			for j, node := range feNodes {
+				if _, err := merger.MergeSealed(&ldp.Tally{
+					NodeID: node, Epoch: e, Counts: parts[j], Total: totals[j],
+				}); err != nil {
+					return nil, err
+				}
+			}
+			var info *stream.MergedEpoch
+			if est, info, err = merger.TrySeal(); err != nil {
+				return nil, err
+			}
+			if est == nil || len(info.Missing) != 0 {
+				return nil, fmt.Errorf("experiment: epoch %d barrier incomplete (%+v)", e, info)
+			}
 		}
 
 		pt := StreamPoint{
@@ -233,6 +280,36 @@ func RunStream(s StreamScenario) (*StreamMetrics, error) {
 		out.Points = append(out.Points, pt)
 	}
 	return out, nil
+}
+
+// splitCounts deterministically partitions a union aggregate across k
+// frontends, as if the reporting users were dealt round-robin: part j
+// takes count/k per item plus one of the first count%k remainders, and
+// the report total splits the same way. The parts sum back to the
+// union exactly — the additivity the scale-out tier is built on.
+func splitCounts(counts []int64, total int64, k int) (parts [][]int64, totals []int64) {
+	parts = make([][]int64, k)
+	for j := range parts {
+		parts[j] = make([]int64, len(counts))
+	}
+	totals = make([]int64, k)
+	for v, c := range counts {
+		base, rem := c/int64(k), c%int64(k)
+		for j := range parts {
+			parts[j][v] = base
+			if int64(j) < rem {
+				parts[j][v]++
+			}
+		}
+	}
+	base, rem := total/int64(k), total%int64(k)
+	for j := range totals {
+		totals[j] = base
+		if int64(j) < rem {
+			totals[j]++
+		}
+	}
+	return parts, totals
 }
 
 // rampBeta is the malicious fraction scheduled for epoch e: zero before

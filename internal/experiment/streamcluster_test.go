@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"ldprecover/internal/dataset"
+)
+
+// TestRunStreamClusterEquivalence pins the experiment-layer half of the
+// scale-out guarantee: the same streaming scenario run through 1, 3,
+// and 5 frontends produces bit-identical per-epoch metrics, the same
+// LDPRecover* engagement epoch, and the same identified target set —
+// partitioning the population across ingest nodes is invisible to the
+// merged pipeline.
+func TestRunStreamClusterEquivalence(t *testing.T) {
+	ds, err := dataset.Zipf("cluster-eq", 48, 30_000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := StreamScenario{
+		Dataset:     ds,
+		Protocol:    OUE,
+		Epsilon:     1,
+		NumTargets:  2,
+		Beta:        0.08,
+		Epochs:      10,
+		AttackStart: 5,
+		StableAfter: 2,
+		MinHistory:  2,
+		Seed:        99,
+	}
+	want, err := RunStream(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.StarEngagedAt < 0 {
+		t.Fatal("scenario never engaged LDPRecover*; the equivalence check is vacuous")
+	}
+	for _, frontends := range []int{3, 5} {
+		s := base
+		s.Frontends = frontends
+		got, err := RunStream(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d-frontend stream diverged from single-node\ngot  %+v\nwant %+v",
+				frontends, got, want)
+		}
+	}
+}
+
+// TestSplitCountsExact: the partition helper deals every unit of count
+// and every report to exactly one frontend.
+func TestSplitCountsExact(t *testing.T) {
+	counts := []int64{0, 1, 2, 3, 100, 101, 7}
+	const total, k = 214, 3
+	parts, totals := splitCounts(counts, total, k)
+	if len(parts) != k || len(totals) != k {
+		t.Fatalf("split into %d/%d parts", len(parts), len(totals))
+	}
+	sumCounts := make([]int64, len(counts))
+	var sumTotal int64
+	for j := range parts {
+		for v, c := range parts[j] {
+			if c < 0 {
+				t.Fatalf("negative split count at part %d item %d", j, v)
+			}
+			sumCounts[v] += c
+		}
+		sumTotal += totals[j]
+	}
+	if !reflect.DeepEqual(sumCounts, counts) || sumTotal != total {
+		t.Fatalf("split does not sum back: counts %v total %d", sumCounts, sumTotal)
+	}
+}
+
+// TestStreamScenarioFrontendsValidation: a negative or absurd frontend
+// count is rejected up front.
+func TestStreamScenarioFrontendsValidation(t *testing.T) {
+	ds, err := dataset.Zipf("cluster-val", 16, 1000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{-1, 1<<10 + 1} {
+		s := StreamScenario{Dataset: ds, Protocol: OUE, Frontends: bad}
+		if _, err := RunStream(s); err == nil {
+			t.Fatalf("Frontends=%d accepted", bad)
+		}
+	}
+}

@@ -114,3 +114,70 @@ func TestReportBatchMalformed(t *testing.T) {
 		}
 	}
 }
+
+// FuzzUnmarshalReportBatch: arbitrary frames must never panic the batch
+// decoder, and anything it accepts must survive an aggregate-preserving
+// re-encode round trip.
+func FuzzUnmarshalReportBatch(f *testing.F) {
+	r := rng.New(17)
+	oue, err := NewOUE(16, 0.8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	olh, err := NewOLH(16, 0.8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var reps []Report
+	for v := 0; v < 4; v++ {
+		for _, p := range []Protocol{oue, olh} {
+			rep, err := p.Perturb(r, v)
+			if err != nil {
+				f.Fatal(err)
+			}
+			reps = append(reps, rep)
+		}
+	}
+	reps = append(reps, GRRReport(3))
+	for _, batch := range [][]Report{nil, reps[:1], reps} {
+		frame, err := MarshalReportBatch(batch)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte("LB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := UnmarshalReportBatch(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		frame, err := MarshalReportBatch(decoded)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		back, err := UnmarshalReportBatch(frame)
+		if err != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", err)
+		}
+		if len(back) != len(decoded) {
+			t.Fatalf("batch size changed across round trip: %d -> %d", len(decoded), len(back))
+		}
+		// The batch's aggregate — the only thing the server consumes —
+		// must be unchanged.
+		if len(decoded) > 0 {
+			before := make([]int64, 16)
+			after := make([]int64, 16)
+			for i := range decoded {
+				decoded[i].AddSupports(before)
+				back[i].AddSupports(after)
+			}
+			for v := range before {
+				if before[v] != after[v] {
+					t.Fatalf("aggregate changed at item %d: %d -> %d", v, before[v], after[v])
+				}
+			}
+		}
+	})
+}

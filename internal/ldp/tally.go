@@ -1,0 +1,199 @@
+package ldp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"slices"
+)
+
+// Tally is one frontend node's sealed per-epoch aggregate: the raw
+// support counts and report total that node collected during one epoch
+// of the shared epoch clock. Tallies are the unit the scale-out
+// collection tier ships from frontend ingest nodes to the root merger
+// (DESIGN.md §7): support counting is exactly additive, so merging the
+// tallies of disjoint user populations loses nothing — the merged counts
+// are bit-identical to a single collector having seen every report.
+type Tally struct {
+	// NodeID identifies the frontend that sealed this tally. The root
+	// dedupes by (NodeID, Epoch), which is what makes at-least-once
+	// delivery (retries, crash-restart re-sends) safe.
+	NodeID string
+	// Epoch is the shared epoch clock index this tally covers. Frontends
+	// seal on the same clock, so equal indices across nodes describe the
+	// same collection period.
+	Epoch int
+	// Counts are the sealed raw support counts (length = domain).
+	Counts []int64
+	// Total is the number of reports sealed into the tally.
+	Total int64
+}
+
+// Validate checks the tally's structural invariants: a non-empty node
+// id, a non-negative epoch and total, and non-negative counts over a
+// plausible domain.
+func (t *Tally) Validate() error {
+	if t.NodeID == "" {
+		return fmt.Errorf("%w: tally without a node id", ErrCodec)
+	}
+	if len(t.NodeID) > maxTallyNodeID {
+		return fmt.Errorf("%w: tally node id of %d bytes exceeds cap %d",
+			ErrCodec, len(t.NodeID), maxTallyNodeID)
+	}
+	if t.Epoch < 0 {
+		return fmt.Errorf("%w: negative tally epoch %d", ErrCodec, t.Epoch)
+	}
+	if len(t.Counts) < 2 || len(t.Counts) > maxTallyDomain {
+		return fmt.Errorf("%w: tally domain %d outside [2, %d]",
+			ErrCodec, len(t.Counts), maxTallyDomain)
+	}
+	if t.Total < 0 {
+		return fmt.Errorf("%w: negative tally total %d", ErrCodec, t.Total)
+	}
+	for v, c := range t.Counts {
+		if c < 0 {
+			return fmt.Errorf("%w: negative tally count %d for item %d", ErrCodec, c, v)
+		}
+	}
+	return nil
+}
+
+// Merge folds another node's tally for the same epoch into this one.
+// The merge is exact — int64 addition of per-item counts and totals —
+// which is the whole cluster-mode guarantee: order and grouping of
+// merges cannot change the result. The node id is not merged; the
+// caller owns the identity of the combined aggregate.
+func (t *Tally) Merge(other *Tally) error {
+	if other == nil {
+		return fmt.Errorf("%w: merging a nil tally", ErrCodec)
+	}
+	if len(other.Counts) != len(t.Counts) {
+		return fmt.Errorf("%w: merging tallies over domains %d and %d",
+			ErrCodec, len(other.Counts), len(t.Counts))
+	}
+	if other.Epoch != t.Epoch {
+		return fmt.Errorf("%w: merging tallies for epochs %d and %d",
+			ErrCodec, other.Epoch, t.Epoch)
+	}
+	for v, c := range other.Counts {
+		t.Counts[v] += c
+	}
+	t.Total += other.Total
+	return nil
+}
+
+// Clone returns a deep copy.
+func (t *Tally) Clone() *Tally {
+	return &Tally{NodeID: t.NodeID, Epoch: t.Epoch, Counts: slices.Clone(t.Counts), Total: t.Total}
+}
+
+// Sealed-tally wire format (little endian):
+//
+//	byte 0..1:  "LT" magic
+//	byte 2:     tally format version (currently 1)
+//	byte 3..4:  uint16 node id length, then that many id bytes
+//	then:       uint64 epoch, uint64 report total, uint32 domain d,
+//	            d uint64 per-item support counts
+//	trailer:    uint32 CRC-32C over every preceding byte
+//
+// Unlike report frames (which travel inside HTTP bodies the server
+// already length-checks), a tally crosses a node boundary where a
+// partially written or bit-flipped frame would silently corrupt the
+// merged view for an entire epoch, so the frame carries its own
+// checksum like the WAL records it is derived from.
+const (
+	tallyVersion = 1
+
+	// maxTallyDomain caps the declared domain so a corrupt frame cannot
+	// drive a gigabyte allocation before the CRC check runs; it matches
+	// the unary report codec's bit cap.
+	maxTallyDomain = 1 << 26
+	// maxTallyNodeID bounds the node id, which is operator-chosen
+	// configuration, not data.
+	maxTallyNodeID = 256
+
+	tallyHeaderSize = 2 + 1 + 2
+)
+
+var tallyMagic = [2]byte{'L', 'T'}
+
+// tallyCRCTable is the Castagnoli polynomial, the same the WAL uses.
+var tallyCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// MarshalTally frames a sealed tally for the wire.
+func MarshalTally(t *Tally) ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("%w: marshaling a nil tally", ErrCodec)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	size := tallyHeaderSize + len(t.NodeID) + 8 + 8 + 4 + 8*len(t.Counts) + 4
+	b := make([]byte, 0, size)
+	b = append(b, tallyMagic[0], tallyMagic[1], tallyVersion)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(t.NodeID)))
+	b = append(b, t.NodeID...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.Epoch))
+	b = binary.LittleEndian.AppendUint64(b, uint64(t.Total))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(t.Counts)))
+	for _, c := range t.Counts {
+		b = binary.LittleEndian.AppendUint64(b, uint64(c))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, tallyCRCTable)), nil
+}
+
+// UnmarshalTally parses a wire-format sealed tally. The CRC is verified
+// before any field is trusted; every declared length is bounds-checked
+// before it drives an allocation, so corrupt or hostile frames error
+// out without panicking or ballooning memory.
+func UnmarshalTally(data []byte) (*Tally, error) {
+	if len(data) < tallyHeaderSize+8+8+4+4 {
+		return nil, fmt.Errorf("%w: short tally frame (%d bytes)", ErrCodec, len(data))
+	}
+	if data[0] != tallyMagic[0] || data[1] != tallyMagic[1] {
+		return nil, fmt.Errorf("%w: bad tally magic %q", ErrCodec, string(data[:2]))
+	}
+	if data[2] != tallyVersion {
+		return nil, fmt.Errorf("%w: unsupported tally version %d", ErrCodec, data[2])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, tallyCRCTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: tally checksum mismatch", ErrCodec)
+	}
+	idLen := int(binary.LittleEndian.Uint16(data[3:]))
+	if idLen == 0 || idLen > maxTallyNodeID {
+		return nil, fmt.Errorf("%w: tally node id length %d outside [1, %d]",
+			ErrCodec, idLen, maxTallyNodeID)
+	}
+	rest := body[tallyHeaderSize:]
+	if len(rest) < idLen+8+8+4 {
+		return nil, fmt.Errorf("%w: tally frame truncated inside header", ErrCodec)
+	}
+	t := &Tally{NodeID: string(rest[:idLen])}
+	rest = rest[idLen:]
+	epoch := binary.LittleEndian.Uint64(rest)
+	total := binary.LittleEndian.Uint64(rest[8:])
+	d := binary.LittleEndian.Uint32(rest[16:])
+	rest = rest[20:]
+	if epoch > math.MaxInt64 || total > math.MaxInt64 {
+		return nil, fmt.Errorf("%w: tally epoch/total out of int64 range", ErrCodec)
+	}
+	t.Epoch = int(epoch)
+	t.Total = int64(total)
+	if d < 2 || d > maxTallyDomain {
+		return nil, fmt.Errorf("%w: tally domain %d outside [2, %d]", ErrCodec, d, maxTallyDomain)
+	}
+	if len(rest) != 8*int(d) {
+		return nil, fmt.Errorf("%w: tally frame holds %d count bytes, domain %d needs %d",
+			ErrCodec, len(rest), d, 8*d)
+	}
+	t.Counts = make([]int64, d)
+	for v := range t.Counts {
+		t.Counts[v] = int64(binary.LittleEndian.Uint64(rest[8*v:]))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,313 @@
+package stream
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+
+	"ldprecover/internal/ldp"
+)
+
+// SealedMerger is the root side of the scale-out collection tier
+// (DESIGN.md §7): frontend nodes ingest disjoint user populations, seal
+// epochs on a shared epoch clock, and push their sealed per-epoch
+// tallies here. The merger runs an epoch barrier in front of an
+// EpochManager — epoch e seals into the manager only after every
+// expected node's tally for e has arrived (or a straggler policy forces
+// it) — so window estimates, recovered history, and target-tracker
+// hysteresis all run on the merged view, exactly as if one collector
+// had seen every report.
+//
+// Delivery is at-least-once: frontends retry pushes until the root's
+// sealed watermark passes the tally's epoch, and the merger dedupes by
+// (NodeID, Epoch), so a re-sent tally — a retried request, a frontend
+// crash-restart re-pushing its ring — changes nothing. Because tally
+// merging is exact int64 addition and epochs seal strictly in clock
+// order, the merged pipeline is bit-identical to the single-node one on
+// the union of reports; the cluster equivalence e2e pins that.
+//
+// All methods are safe for concurrent use.
+type SealedMerger struct {
+	mgr      *EpochManager
+	expected []string // sorted unique frontend node ids
+
+	mu      sync.Mutex
+	next    int                   // next epoch index to seal (the barrier)
+	pending map[int]*pendingEpoch // future/current epochs accumulating tallies
+	merged  []MergedEpoch         // accounting for sealed epochs, oldest first
+	dupes   int64                 // deduped submissions ever
+}
+
+// pendingEpoch accumulates one epoch's tallies ahead of its barrier.
+type pendingEpoch struct {
+	counts []int64
+	total  int64
+	nodes  map[string]bool
+}
+
+// MergedEpoch is the partial-epoch accounting for one sealed epoch:
+// which expected nodes made it into the merge before the barrier
+// closed, and which were still missing (straggler timeout or forced
+// seal). A complete epoch has an empty Missing.
+type MergedEpoch struct {
+	// Epoch is the shared clock index.
+	Epoch int
+	// Nodes are the frontends whose tallies merged, sorted.
+	Nodes []string
+	// Missing are the expected frontends absent at seal time, sorted.
+	Missing []string
+	// Total is the merged report count.
+	Total int64
+	// Duplicates counts deduped submissions observed for this epoch,
+	// including late re-sends arriving after the seal.
+	Duplicates int
+}
+
+// SubmitResult describes what MergeSealed did with a tally.
+type SubmitResult struct {
+	// Duplicate is set when the tally was already merged — the same
+	// (node, epoch) seen before the barrier, or the epoch already sealed
+	// — and the submission changed nothing.
+	Duplicate bool
+	// Ready is set when the next-to-seal epoch now holds every expected
+	// node's tally: the barrier is complete and TrySeal will seal it.
+	Ready bool
+	// SealedThrough is the number of epochs sealed so far; frontends
+	// prune their unacked tallies against this watermark.
+	SealedThrough int
+}
+
+// maxEpochLead bounds how far past the barrier a pending tally may
+// reach, so a misconfigured or hostile frontend cannot grow the pending
+// map without bound. A healthy cluster's frontends sit at most one
+// epoch ahead of the root; crash-restart re-sends reach back, not
+// forward.
+const maxEpochLead = 1 << 10
+
+// NewSealedMerger wraps mgr with an epoch barrier over the expected
+// frontend nodes. The barrier resumes at the manager's sealed-epoch
+// count, so a root restored from a snapshot continues where it left
+// off.
+func NewSealedMerger(mgr *EpochManager, nodes []string) (*SealedMerger, error) {
+	if mgr == nil {
+		return nil, fmt.Errorf("stream: merger without an epoch manager")
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("stream: merger without expected nodes")
+	}
+	expected := slices.Clone(nodes)
+	sort.Strings(expected)
+	for i, n := range expected {
+		if n == "" {
+			return nil, fmt.Errorf("stream: empty node id in merger config")
+		}
+		if i > 0 && expected[i-1] == n {
+			return nil, fmt.Errorf("stream: duplicate node id %q in merger config", n)
+		}
+	}
+	return &SealedMerger{
+		mgr:      mgr,
+		expected: expected,
+		next:     mgr.Stats().Epochs,
+		pending:  make(map[int]*pendingEpoch),
+	}, nil
+}
+
+// Manager returns the epoch manager the merger seals into.
+func (sm *SealedMerger) Manager() *EpochManager { return sm.mgr }
+
+// Nodes returns the expected frontend node ids, sorted.
+func (sm *SealedMerger) Nodes() []string { return slices.Clone(sm.expected) }
+
+// MergeSealed is the root's ingest path: it folds one frontend's sealed
+// tally into the pending epoch it belongs to. Duplicates — by (node,
+// epoch), or for an epoch already sealed — are no-ops reported in the
+// result, never errors, because at-least-once delivery makes them part
+// of normal operation. Unknown nodes, domain mismatches, and epochs
+// absurdly far past the barrier are errors.
+func (sm *SealedMerger) MergeSealed(t *ldp.Tally) (SubmitResult, error) {
+	if t == nil {
+		return SubmitResult{}, fmt.Errorf("stream: merging a nil tally")
+	}
+	if err := t.Validate(); err != nil {
+		return SubmitResult{}, err
+	}
+	if d := sm.mgr.Domain(); len(t.Counts) != d {
+		return SubmitResult{}, fmt.Errorf("stream: tally from %q has domain %d, root serves %d",
+			t.NodeID, len(t.Counts), d)
+	}
+	if _, ok := slices.BinarySearch(sm.expected, t.NodeID); !ok {
+		return SubmitResult{}, fmt.Errorf("stream: tally from unexpected node %q", t.NodeID)
+	}
+
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	res := SubmitResult{SealedThrough: sm.next}
+	if t.Epoch < sm.next {
+		// The epoch sealed without (or with) this tally; either way the
+		// barrier has moved on and the re-send changes nothing.
+		sm.noteDuplicateLocked(t.Epoch)
+		res.Duplicate = true
+		return res, nil
+	}
+	if t.Epoch > sm.next && sm.next == 0 && len(sm.pending) == 0 && sm.mgr.Stats().Epochs == 0 {
+		// A virgin root facing a cluster whose clock is already running —
+		// an in-memory root restarted, or a root whose state was lost —
+		// adopts the frontends' epoch base instead of forcing its way
+		// through (or, past maxEpochLead, rejecting) every skipped epoch.
+		// Frontends push oldest-first, so the first arrival is the
+		// earliest tally still deliverable; anything older another node
+		// re-sends is stale either way, because the state that could
+		// have merged it is gone.
+		sm.next = t.Epoch
+		res.SealedThrough = sm.next
+	}
+	if t.Epoch >= sm.next+maxEpochLead {
+		return res, fmt.Errorf("stream: tally from %q for epoch %d is %d epochs past the merge barrier %d",
+			t.NodeID, t.Epoch, t.Epoch-sm.next, sm.next)
+	}
+	pe := sm.pending[t.Epoch]
+	if pe == nil {
+		pe = &pendingEpoch{counts: make([]int64, len(t.Counts)), nodes: make(map[string]bool, len(sm.expected))}
+		sm.pending[t.Epoch] = pe
+	}
+	if pe.nodes[t.NodeID] {
+		sm.dupes++
+		res.Duplicate = true
+		return res, nil
+	}
+	pe.nodes[t.NodeID] = true
+	for v, c := range t.Counts {
+		pe.counts[v] += c
+	}
+	pe.total += t.Total
+	res.Ready = sm.barrierCompleteLocked()
+	return res, nil
+}
+
+// noteDuplicateLocked counts a dedupe, attributing it to the sealed
+// epoch's accounting when that epoch is still retained.
+func (sm *SealedMerger) noteDuplicateLocked(epoch int) {
+	sm.dupes++
+	for i := range sm.merged {
+		if sm.merged[i].Epoch == epoch {
+			sm.merged[i].Duplicates++
+			return
+		}
+	}
+}
+
+// barrierCompleteLocked reports whether the next-to-seal epoch holds
+// every expected node's tally.
+func (sm *SealedMerger) barrierCompleteLocked() bool {
+	pe := sm.pending[sm.next]
+	return pe != nil && len(pe.nodes) == len(sm.expected)
+}
+
+// TrySeal seals the next epoch into the manager iff its barrier is
+// complete, returning the new window estimate and the epoch's merge
+// accounting; (nil, nil, nil) means the barrier is still open. Callers
+// loop — sealing epoch e may reveal that e+1's barrier was already
+// complete.
+func (sm *SealedMerger) TrySeal() (*WindowEstimate, *MergedEpoch, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if !sm.barrierCompleteLocked() {
+		return nil, nil, nil
+	}
+	return sm.sealNextLocked()
+}
+
+// SealPartial force-closes the next epoch's barrier with whatever
+// tallies have arrived — the straggler-timeout policy, and the root's
+// answer to an explicit seal request. Sealing with no tallies at all is
+// legal and produces an empty epoch, exactly as a quiet single-node
+// epoch would. The accounting records which nodes were merged and which
+// were missing.
+func (sm *SealedMerger) SealPartial() (*WindowEstimate, *MergedEpoch, error) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.sealNextLocked()
+}
+
+// sealNextLocked folds the pending epoch at the barrier into the
+// manager and seals it. Callers hold sm.mu.
+func (sm *SealedMerger) sealNextLocked() (*WindowEstimate, *MergedEpoch, error) {
+	info := MergedEpoch{Epoch: sm.next}
+	if pe := sm.pending[sm.next]; pe != nil {
+		if err := sm.mgr.AddCounts(pe.counts, pe.total); err != nil {
+			return nil, nil, err
+		}
+		info.Total = pe.total
+		for n := range pe.nodes {
+			info.Nodes = append(info.Nodes, n)
+		}
+		sort.Strings(info.Nodes)
+		delete(sm.pending, sm.next)
+	}
+	for _, n := range sm.expected {
+		if !slices.Contains(info.Nodes, n) {
+			info.Missing = append(info.Missing, n)
+		}
+	}
+	est, err := sm.mgr.Seal()
+	if err != nil {
+		return nil, nil, err
+	}
+	sm.next++
+	sm.merged = append(sm.merged, info)
+	if keep := sm.mgr.Config().History; len(sm.merged) > keep {
+		sm.merged = sm.merged[len(sm.merged)-keep:]
+	}
+	return est, &info, nil
+}
+
+// BarrierPending reports whether any tallies are waiting at or past
+// the barrier — what a root consults to decide whether a straggler
+// timer should be armed.
+func (sm *SealedMerger) BarrierPending() bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return len(sm.pending) > 0
+}
+
+// SealedThrough returns how many epochs have sealed — the watermark
+// frontends prune their unacked tallies against.
+func (sm *SealedMerger) SealedThrough() int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.next
+}
+
+// PendingNodes returns which expected nodes have (true) and have not
+// (false) delivered their tally for the epoch at the barrier.
+func (sm *SealedMerger) PendingNodes() map[string]bool {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	out := make(map[string]bool, len(sm.expected))
+	pe := sm.pending[sm.next]
+	for _, n := range sm.expected {
+		out[n] = pe != nil && pe.nodes[n]
+	}
+	return out
+}
+
+// Merged returns the retained per-epoch merge accounting, oldest first.
+func (sm *SealedMerger) Merged() []MergedEpoch {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	out := make([]MergedEpoch, len(sm.merged))
+	for i, m := range sm.merged {
+		out[i] = MergedEpoch{Epoch: m.Epoch, Total: m.Total, Duplicates: m.Duplicates,
+			Nodes: slices.Clone(m.Nodes), Missing: slices.Clone(m.Missing)}
+	}
+	return out
+}
+
+// Duplicates returns how many submissions have ever been deduped.
+func (sm *SealedMerger) Duplicates() int64 {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return sm.dupes
+}

@@ -382,6 +382,22 @@ func (m *EpochManager) estimateLocked(counts []int64, total int64, seq, epochs i
 	return est, nil
 }
 
+// AdvanceEpochTo fast-forwards the epoch clock so the next sealed epoch
+// carries index at least seq; it never moves backwards and touches no
+// data. A cluster frontend calls it with the root's sealed watermark
+// before sealing, so a node that missed epochs — an outage past the
+// straggler timeout, an in-memory restart resetting the counter —
+// rejoins the shared clock at the current period instead of re-issuing
+// stale indices the root would dedupe forever. The skipped indices
+// simply have no epoch from this node, which is the truth.
+func (m *EpochManager) AdvanceEpochTo(seq int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if seq > m.seq {
+		m.seq = seq
+	}
+}
+
 // Latest returns the estimate of the most recently sealed window, nil
 // before the first Seal.
 func (m *EpochManager) Latest() *WindowEstimate {

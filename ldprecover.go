@@ -247,6 +247,48 @@ func OpenDurableStore(dir string, mgr *EpochManager, opts DurableOptions) (*Dura
 // DurableOptions leaves SegmentBytes zero.
 const DefaultWALSegmentBytes = persist.DefaultSegmentBytes
 
+// Scale-out collection tier (DESIGN.md §7): frontend nodes ingest
+// disjoint user populations, seal epochs on a shared epoch clock, and
+// push CRC-framed sealed tallies to a root, whose SealedMerger runs an
+// epoch barrier (dedupe by node and epoch, straggler policy) in front
+// of its EpochManager — so the merged window estimates, recovered
+// history, and target hysteresis are bit-identical to a single node
+// having seen every report.
+type (
+	// Tally is one frontend's sealed per-epoch aggregate.
+	Tally = ldp.Tally
+	// SealedMerger is the root's epoch-barrier merge front.
+	SealedMerger = stream.SealedMerger
+	// MergedEpoch is one sealed epoch's partial-epoch accounting
+	// (which expected nodes merged, which were missing).
+	MergedEpoch = stream.MergedEpoch
+	// SubmitResult describes what MergeSealed did with a tally.
+	SubmitResult = stream.SubmitResult
+	// SnapshotStore is the root's WAL-less per-seal durability.
+	SnapshotStore = persist.SnapshotStore
+)
+
+// MarshalTally frames a sealed tally for the node-to-root wire; the
+// frame carries its own CRC-32C like the WAL records it derives from.
+func MarshalTally(t *Tally) ([]byte, error) { return ldp.MarshalTally(t) }
+
+// UnmarshalTally parses and checksums a wire-format sealed tally.
+func UnmarshalTally(data []byte) (*Tally, error) { return ldp.UnmarshalTally(data) }
+
+// NewSealedMerger wraps an EpochManager with an epoch barrier over the
+// expected frontend nodes.
+func NewSealedMerger(mgr *EpochManager, nodes []string) (*SealedMerger, error) {
+	return stream.NewSealedMerger(mgr, nodes)
+}
+
+// OpenSnapshotStore makes a root merger's manager durable under dir via
+// per-seal snapshots (no WAL — frontends re-send tallies the root has
+// not durably sealed). It refuses a directory holding a report-level
+// WAL.
+func OpenSnapshotStore(dir string, mgr *EpochManager, keep int) (*SnapshotStore, error) {
+	return persist.OpenSnapshotStore(dir, mgr, keep)
+}
+
 // NewTargetTracker returns a tracker that promotes or demotes a target
 // set after stableAfter consecutive identical outlier observations.
 func NewTargetTracker(stableAfter int) (*TargetTracker, error) {
