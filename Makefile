@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalReport$$'      -fuzztime $(FUZZTIME) ./internal/ldp
 	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalReportBatch$$' -fuzztime $(FUZZTIME) ./internal/ldp
 	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalTally$$'       -fuzztime $(FUZZTIME) ./internal/ldp
+	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalAnnounce$$'    -fuzztime $(FUZZTIME) ./internal/ldp
 	$(GO) test -run '^$$' -fuzz 'FuzzWALOpen$$'              -fuzztime $(FUZZTIME) ./internal/persist
 
 # One iteration of every benchmark: catches bit-rot in the paper figure

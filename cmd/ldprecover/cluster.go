@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ldprecover"
@@ -31,6 +33,16 @@ import (
 // Because tally merging is exact integer addition and epochs seal in
 // clock order, the root's estimates are bit-identical to a single-node
 // server fed every report; TestClusterEquivalenceE2E pins that.
+//
+// Membership is elastic: a frontend started with -join announces itself
+// on POST /v1/membership and begins contributing at the epoch boundary
+// the root assigns; one stopped with -leave-on-shutdown retires the
+// same way, so the barrier stops waiting for it without a straggler
+// timeout. And the root is replaceable: a -role=standby node tails the
+// root's snapshots and seal-log, and when the root's lease goes stale
+// it promotes in place — frontends started with -standby-addr fail
+// over, and their ring re-send makes the switch lose nothing
+// (TestClusterElasticFailoverE2E pins all three transitions).
 
 // tallyResponse is the root's answer to a pushed tally.
 type tallyResponse struct {
@@ -43,12 +55,31 @@ type tallyResponse struct {
 	SealedThrough int `json:"sealed_through"`
 }
 
+// announceResponse is the root's answer to a join/leave announcement.
+type announceResponse struct {
+	// Effective is the epoch boundary the change takes effect at: the
+	// first epoch a joiner contributes, the first a leaver does not.
+	Effective int `json:"effective_epoch"`
+	// SealedThrough is the root's sealed watermark, so a joiner can
+	// align its epoch clock in the same round trip.
+	SealedThrough int `json:"sealed_through"`
+}
+
 // defaultPushInterval is how often a frontend re-pushes tallies the
 // root has accepted but not yet sealed past (tests shrink it).
 const defaultPushInterval = 500 * time.Millisecond
 
 // maxPushBackoff caps the exponential backoff after push failures.
 const maxPushBackoff = 5 * time.Second
+
+// shutdownFlushTimeout bounds the pusher's final delivery attempt: a
+// durable frontend re-sends on its next boot anyway, so an unreachable
+// root must not hang shutdown.
+const shutdownFlushTimeout = 5 * time.Second
+
+// failoverAfter is how many consecutive failed delivery passes switch
+// the pusher to the next candidate root (the -standby-addr).
+const failoverAfter = 2
 
 // tallyPusher is the frontend's delivery side: a FIFO of sealed tallies
 // retried in order until the root's sealed watermark covers them.
@@ -59,40 +90,62 @@ const maxPushBackoff = 5 * time.Second
 // ring epoch would not survive a restart either, so during a root
 // outage longer than -history epochs the oldest pending tallies are
 // dropped (counted, logged) rather than growing memory without limit.
+//
+// urls lists the candidate roots (the root, then the standby, if any);
+// after failoverAfter consecutive failed passes the pusher rotates to
+// the next candidate and keeps going — dedupe makes it harmless to
+// push to a root that already has everything.
 type tallyPusher struct {
-	nodeID     string
-	rootURL    string
-	client     *http.Client
-	interval   time.Duration
-	maxPending int // 0: unbounded
+	nodeID       string
+	urls         []string
+	client       *http.Client
+	interval     time.Duration
+	maxPending   int           // 0: unbounded
+	flushTimeout time.Duration // bound on the shutdown flush (tests shrink it)
 
-	mu       sync.Mutex
-	pending  []*ldprecover.Tally // unacked, epoch ascending
-	dropped  int64               // tallies evicted past maxPending
-	rootSeen int                 // highest sealed watermark any answer carried
-	lastErr  error               // most recent push failure, for stats/logs
+	mu         sync.Mutex
+	pending    []*ldprecover.Tally // unacked, epoch ascending
+	dropped    int64               // tallies evicted past maxPending
+	rootSeen   int                 // highest sealed watermark any answer carried
+	lastErr    error               // most recent push failure, for stats/logs
+	active     int                 // index into urls currently delivered to
+	failStreak int                 // consecutive failed passes on the active url
+	failovers  int64               // times the active url rotated
 
-	kick chan struct{}
-	done chan struct{}
-	wg   sync.WaitGroup
+	runCtx    context.Context // canceled at close: in-flight steady-state pushes abort
+	runCancel context.CancelFunc
+	kick      chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
 }
 
-func newTallyPusher(nodeID, rootURL string, interval time.Duration, maxPending int) *tallyPusher {
+func newTallyPusher(nodeID string, urls []string, interval time.Duration, maxPending int) *tallyPusher {
 	if interval <= 0 {
 		interval = defaultPushInterval
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	p := &tallyPusher{
-		nodeID:     nodeID,
-		rootURL:    rootURL,
-		client:     &http.Client{Timeout: 10 * time.Second},
-		interval:   interval,
-		maxPending: maxPending,
-		kick:       make(chan struct{}, 1),
-		done:       make(chan struct{}),
+		nodeID:       nodeID,
+		urls:         urls,
+		client:       &http.Client{Timeout: 10 * time.Second},
+		interval:     interval,
+		maxPending:   maxPending,
+		flushTimeout: shutdownFlushTimeout,
+		runCtx:       ctx,
+		runCancel:    cancel,
+		kick:         make(chan struct{}, 1),
+		done:         make(chan struct{}),
 	}
 	p.wg.Add(1)
 	go p.loop()
 	return p
+}
+
+// url returns the candidate root currently delivered to.
+func (p *tallyPusher) url() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.urls[p.active]
 }
 
 // enqueue adds a sealed tally to the delivery queue and wakes the loop,
@@ -130,33 +183,31 @@ func (p *tallyPusher) droppedCount() int64 {
 	return p.dropped
 }
 
+// failoverCount returns how many times delivery rotated roots.
+func (p *tallyPusher) failoverCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failovers
+}
+
 // loop pushes pending tallies, re-checking every interval (the root
 // seals an epoch only once every frontend delivered, so "accepted but
 // not sealed" is the steady state between clock ticks) and backing off
-// exponentially when the root is unreachable.
+// exponentially when the root is unreachable. Every wait selects on the
+// stop channel: shutdown never sits out a backoff or an in-flight
+// retry against a dead root.
 func (p *tallyPusher) loop() {
 	defer p.wg.Done()
 	backoff := p.interval
 	for {
 		select {
 		case <-p.done:
-			// Final flush with a deadline: a durable frontend re-sends on
-			// its next boot anyway, so an unreachable root must not hang
-			// shutdown. The pause applies after every unfinished pass —
-			// "accepted but not sealed yet" must wait for the other
-			// frontends' tallies, not hammer the root in a hot loop.
-			deadline := time.Now().Add(5 * time.Second)
-			for {
-				p.pushAll()
-				if p.pendingCount() == 0 || !time.Now().Before(deadline) {
-					return
-				}
-				time.Sleep(100 * time.Millisecond)
-			}
+			p.finalFlush()
+			return
 		case <-p.kick:
 		case <-time.After(backoff):
 		}
-		if p.pushAll() {
+		if p.pushAll(p.runCtx) {
 			backoff = p.interval
 		} else if backoff = backoff * 2; backoff > maxPushBackoff {
 			backoff = maxPushBackoff
@@ -164,10 +215,33 @@ func (p *tallyPusher) loop() {
 	}
 }
 
+// finalFlush is the shutdown delivery attempt, bounded as a whole by
+// shutdownFlushTimeout: the context caps every request in flight, and
+// the pass pacing — "accepted but not sealed yet" must wait for the
+// other frontends' tallies, not hammer the root in a hot loop — aborts
+// the moment the deadline passes instead of sleeping through it.
+func (p *tallyPusher) finalFlush() {
+	ctx, cancel := context.WithTimeout(context.Background(), p.flushTimeout)
+	defer cancel()
+	for {
+		p.pushAll(ctx)
+		if p.pendingCount() == 0 || ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
 // pushAll attempts one delivery pass over the pending queue, oldest
 // first, pruning everything the root's watermark covers. It reports
-// whether every attempted push got an answer from the root.
-func (p *tallyPusher) pushAll() bool {
+// whether every attempted push got an answer from the root, and rotates
+// to the next candidate root after failoverAfter consecutive failed
+// passes.
+func (p *tallyPusher) pushAll(ctx context.Context) bool {
 	p.mu.Lock()
 	batch := append([]*ldprecover.Tally(nil), p.pending...)
 	p.mu.Unlock()
@@ -177,7 +251,7 @@ func (p *tallyPusher) pushAll() bool {
 		if t.Epoch < watermark {
 			continue // already covered by an earlier answer this pass
 		}
-		resp, err := p.pushOne(t)
+		resp, err := p.pushOne(ctx, t)
 		if err != nil {
 			p.mu.Lock()
 			p.lastErr = err
@@ -204,6 +278,18 @@ func (p *tallyPusher) pushAll() bool {
 		}
 		p.mu.Unlock()
 	}
+	p.mu.Lock()
+	if ok {
+		p.failStreak = 0
+	} else if len(batch) > 0 && ctx.Err() == nil {
+		if p.failStreak++; p.failStreak >= failoverAfter && len(p.urls) > 1 {
+			p.active = (p.active + 1) % len(p.urls)
+			p.failStreak = 0
+			p.failovers++
+			fmt.Printf("frontend %q: tally delivery failing, switching to %s\n", p.nodeID, p.urls[p.active])
+		}
+	}
+	p.mu.Unlock()
 	return ok
 }
 
@@ -218,30 +304,73 @@ func (p *tallyPusher) rootWatermark() int {
 	return p.rootSeen
 }
 
-// pushOne POSTs one tally frame to the root.
-func (p *tallyPusher) pushOne(t *ldprecover.Tally) (*tallyResponse, error) {
+// noteWatermark folds a watermark learnt outside the push path (a join
+// announcement's answer) into the clock-resync state.
+func (p *tallyPusher) noteWatermark(w int) {
+	p.mu.Lock()
+	if w > p.rootSeen {
+		p.rootSeen = w
+	}
+	p.mu.Unlock()
+}
+
+// pushOne POSTs one tally frame to the active root.
+func (p *tallyPusher) pushOne(ctx context.Context, t *ldprecover.Tally) (*tallyResponse, error) {
 	frame, err := ldprecover.MarshalTally(t)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := p.client.Post(p.rootURL+"/v1/tally", "application/octet-stream", bytes.NewReader(frame))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("root answered %d: %s", resp.StatusCode, bytes.TrimSpace(body))
-	}
 	var tr tallyResponse
-	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
-		return nil, fmt.Errorf("decoding root answer: %v", err)
+	if err := p.post(ctx, "/v1/tally", frame, &tr); err != nil {
+		return nil, err
 	}
 	return &tr, nil
 }
 
-// close stops the loop after a bounded final flush.
+// announce sends a join/leave announcement to the active root. epoch is
+// the requested boundary (leave: the first epoch this node will not
+// contribute); the answer carries the boundary the root assigned.
+func (p *tallyPusher) announce(ctx context.Context, kind ldprecover.AnnounceKind, epoch int) (*announceResponse, error) {
+	frame, err := ldprecover.MarshalAnnounce(&ldprecover.Announce{NodeID: p.nodeID, Kind: kind, Epoch: epoch})
+	if err != nil {
+		return nil, err
+	}
+	var ar announceResponse
+	if err := p.post(ctx, "/v1/membership", frame, &ar); err != nil {
+		return nil, err
+	}
+	p.noteWatermark(ar.SealedThrough)
+	return &ar, nil
+}
+
+// post delivers one frame to the active root and decodes the JSON
+// answer into out.
+func (p *tallyPusher) post(ctx context.Context, path string, frame []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url()+path, bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("root answered %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("decoding root answer: %v", err)
+	}
+	return nil
+}
+
+// close stops the loop after a bounded final flush. In-flight
+// steady-state pushes are aborted immediately — the flush re-sends
+// anything they would have delivered.
 func (p *tallyPusher) close() error {
+	p.runCancel()
 	close(p.done)
 	p.wg.Wait()
 	if n := p.pendingCount(); n > 0 {
@@ -256,24 +385,56 @@ func (p *tallyPusher) close() error {
 
 // rootMerge is the root's barrier driver around a SealedMerger: it
 // seals complete epochs as they fill, arms the straggler timer while a
-// barrier is partially filled, persists each merged seal before
-// advancing the advertised watermark, and fail-stops the server when
-// persistence breaks (the PR 4 durability policy).
+// barrier is partially filled, persists each merged seal (snapshot,
+// then seal-log record) before advancing the advertised watermark,
+// journals membership changes before acking them, heartbeats the data
+// directory's lease, and fail-stops the server when persistence breaks
+// (the PR 4 durability policy).
 type rootMerge struct {
 	merger  *ldprecover.SealedMerger
 	snaps   *ldprecover.SnapshotStore // nil when the root is in-memory
+	slog    *ldprecover.SealLog       // nil when the root is in-memory
 	timeout time.Duration             // 0: wait for stragglers forever
 	fatal   func(error)
 
 	mu        sync.Mutex
 	timer     *time.Timer
 	persisted int // durably sealed watermark (== merger's when snaps == nil)
+
+	lease     *ldprecover.Lease
+	leaseStop chan struct{}
+	leaseWG   sync.WaitGroup
 }
 
 func newRootMerge(merger *ldprecover.SealedMerger, snaps *ldprecover.SnapshotStore,
-	timeout time.Duration, fatal func(error)) *rootMerge {
-	return &rootMerge{merger: merger, snaps: snaps, timeout: timeout, fatal: fatal,
+	slog *ldprecover.SealLog, timeout time.Duration, fatal func(error)) *rootMerge {
+	return &rootMerge{merger: merger, snaps: snaps, slog: slog, timeout: timeout, fatal: fatal,
 		persisted: merger.SealedThrough()}
+}
+
+// startLease begins heartbeating the held lease. A failed heartbeat
+// means this root was superseded (a standby promoted over it) — the
+// only safe move is to fail-stop before merging anything more.
+func (r *rootMerge) startLease(l *ldprecover.Lease, interval time.Duration) {
+	r.lease = l
+	r.leaseStop = make(chan struct{})
+	r.leaseWG.Add(1)
+	go func() {
+		defer r.leaseWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.leaseStop:
+				return
+			case <-t.C:
+				if err := l.Refresh(); err != nil {
+					r.fatal(fmt.Errorf("root lease heartbeat: %w", err))
+					return
+				}
+			}
+		}
+	}()
 }
 
 // rootSealError marks a server-side seal/persist failure surfacing
@@ -305,6 +466,54 @@ func (r *rootMerge) onTally(t *ldprecover.Tally) (tallyResponse, error) {
 	return tallyResponse{Duplicate: res.Duplicate, SealedThrough: r.watermark()}, nil
 }
 
+// onAnnounce applies one membership announcement. The resulting
+// membership state is journaled to the seal-log *before* the change is
+// acked — a joiner that got its effective epoch must still be expected
+// after a root restart. A leave that removes the barrier's last
+// straggler seals through it.
+func (r *rootMerge) onAnnounce(a *ldprecover.Announce) (announceResponse, error) {
+	var (
+		eff   int
+		ready bool
+		err   error
+	)
+	switch a.Kind {
+	case ldprecover.AnnounceJoin:
+		eff, err = r.merger.Join(a.NodeID)
+	case ldprecover.AnnounceLeave:
+		eff, ready, err = r.merger.Leave(a.NodeID, a.Epoch)
+	default:
+		err = fmt.Errorf("unknown announce kind %v", a.Kind)
+	}
+	if err != nil {
+		return announceResponse{}, err
+	}
+	if r.slog != nil {
+		members, sched := r.merger.Membership()
+		if err := r.slog.Append(ldprecover.SealRecord{
+			Kind: ldprecover.SealRecordMember, Epoch: eff,
+			Node: a.NodeID, Join: a.Kind == ldprecover.AnnounceJoin,
+			Members: members, Sched: sched,
+		}); err != nil {
+			err = fmt.Errorf("journaling membership change for %q: %w", a.NodeID, err)
+			r.fatal(err)
+			return announceResponse{}, rootSealError{err}
+		}
+	}
+	if ready {
+		if err := r.seal(-1); err != nil {
+			r.fatal(err)
+			return announceResponse{}, rootSealError{err}
+		}
+	} else {
+		r.mu.Lock()
+		r.armTimerLocked()
+		r.mu.Unlock()
+	}
+	fmt.Printf("membership: %s %q effective at epoch %d\n", a.Kind, a.NodeID, eff)
+	return announceResponse{Effective: eff, SealedThrough: r.watermark()}, nil
+}
+
 // seal drains the barrier: every complete epoch seals, and with
 // forceEpoch >= 0 the barrier epoch additionally seals partial — but
 // only while it still *is* epoch forceEpoch and tallies are actually
@@ -313,8 +522,8 @@ func (r *rootMerge) onTally(t *ldprecover.Tally) (tallyResponse, error) {
 // N's completing tally must not force-seal an empty N+1 — that would
 // advance the barrier past tallies still en route and turn an entire
 // epoch's re-sends into stale duplicates. Each merged seal is persisted
-// before the watermark moves, so frontends never prune a tally the root
-// could forget.
+// (snapshot, then seal-log record) before the watermark moves, so
+// frontends never prune a tally the root could forget.
 func (r *rootMerge) seal(forceEpoch int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -339,6 +548,16 @@ func (r *rootMerge) seal(forceEpoch int) error {
 		if r.snaps != nil {
 			if err := r.snaps.Persist(); err != nil {
 				return fmt.Errorf("persisting merged epoch %d: %w", info.Epoch, err)
+			}
+		}
+		if r.slog != nil {
+			members, sched := r.merger.Membership()
+			if err := r.slog.Append(ldprecover.SealRecord{
+				Kind: ldprecover.SealRecordSeal, Epoch: info.Epoch,
+				Nodes: info.Nodes, Missing: info.Missing,
+				Members: members, Sched: sched,
+			}); err != nil {
+				return fmt.Errorf("journaling merged epoch %d: %w", info.Epoch, err)
 			}
 		}
 		r.persisted = r.merger.SealedThrough()
@@ -413,16 +632,179 @@ func (r *rootMerge) forceSeal() (*ldprecover.WindowEstimate, error) {
 	return nil, errNothingToSeal
 }
 
-// stop disarms the straggler timer (shutdown path).
+// stop disarms the straggler timer, stops the lease heartbeat and
+// releases the lease, and closes the seal-log and snapshot store
+// (shutdown path).
 func (r *rootMerge) stop() error {
+	var errs []error
+	if r.leaseStop != nil {
+		close(r.leaseStop)
+		r.leaseWG.Wait()
+		errs = append(errs, r.lease.Release())
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.timer != nil {
 		r.timer.Stop()
 		r.timer = nil
 	}
+	if r.slog != nil {
+		errs = append(errs, r.slog.Close())
+	}
 	if r.snaps != nil {
-		return r.snaps.Close()
+		errs = append(errs, r.snaps.Close())
+	}
+	r.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// errStandbyNotPromoted answers write-path requests on a standby that
+// has not taken over yet — the root is still the cluster's merge front.
+var errStandbyNotPromoted = errors.New("this standby has not been promoted; the root is still serving")
+
+// standbyControl is the -role=standby machinery: it tails the root's
+// data directory to keep a warm manager, health-checks the root, and
+// when the root has been unreachable past -promote-after AND its lease
+// has gone stale, promotes — acquiring the lease, wrapping the warm
+// state in a rootMerge, and swapping it into the server, which from
+// then on behaves exactly like a -role=root node.
+type standbyControl struct {
+	tailer       *ldprecover.StandbyTailer
+	dataDir      string
+	rootAddr     string
+	owner        string
+	fallback     []string // -nodes, used only when the seal-log is empty
+	promoteAfter time.Duration
+	pollEvery    time.Duration
+	tallyTimeout time.Duration
+	client       *http.Client
+	srv          *streamServer
+
+	root       atomic.Pointer[rootMerge] // non-nil once promoted
+	promotedAt atomic.Int64              // snapshot seq at promotion, for stats
+
+	stopc chan struct{}
+	wg    sync.WaitGroup
+}
+
+// start launches the tail/health/promotion loop.
+func (c *standbyControl) start() {
+	c.stopc = make(chan struct{})
+	c.wg.Add(1)
+	go c.loop()
+}
+
+// loop is the standby's watch cycle. It exits once promoted (the
+// rootMerge takes over) or when the server shuts down.
+func (c *standbyControl) loop() {
+	defer c.wg.Done()
+	lastHealthy := time.Now()
+	t := time.NewTicker(c.pollEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopc:
+			return
+		case <-t.C:
+		}
+		if _, err := c.tailer.Poll(); err != nil {
+			fmt.Printf("standby %q: tailing snapshots: %v\n", c.owner, err)
+		}
+		if c.rootHealthy() {
+			lastHealthy = time.Now()
+			continue
+		}
+		if time.Since(lastHealthy) < c.promoteAfter {
+			continue
+		}
+		if err := c.promote(); err != nil {
+			// Typically the lease is still fresh — the root is cut off
+			// from us but alive, or another standby won. Keep watching.
+			fmt.Printf("standby %q: promotion blocked: %v\n", c.owner, err)
+			continue
+		}
+		return
+	}
+}
+
+// rootHealthy probes the root's stats endpoint.
+func (c *standbyControl) rootHealthy() bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.pollEvery)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.rootAddr+"/v1/stats", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// promote performs the takeover: lease first (refusing while the old
+// root's heartbeat is fresh — the split-brain guard), then the warm
+// merger from the last snapshot + seal-log membership, then the
+// rootMerge swap that turns this server into the root. Frontends find
+// it via -standby-addr; their ring re-send replays anything the old
+// root accepted but never durably sealed.
+func (c *standbyControl) promote() error {
+	lease, err := ldprecover.AcquireLease(c.dataDir, c.owner, c.promoteAfter)
+	if err != nil {
+		return err
+	}
+	merger, err := c.tailer.Promote(c.fallback)
+	if err != nil {
+		return errors.Join(err, lease.Release())
+	}
+	snaps, err := ldprecover.AttachSnapshotStore(c.dataDir, merger.Manager(), 0)
+	if err != nil {
+		return errors.Join(err, lease.Release())
+	}
+	slog, err := ldprecover.OpenSealLog(c.dataDir)
+	if err != nil {
+		return errors.Join(err, lease.Release())
+	}
+	rm := newRootMerge(merger, snaps, slog, c.tallyTimeout, c.srv.reportFatal)
+	rm.startLease(lease, leaseHeartbeat(c.promoteAfter))
+	c.promotedAt.Store(int64(merger.SealedThrough()))
+	c.root.Store(rm)
+	c.srv.sealMu.Lock()
+	c.srv.sealFn = rm.forceSeal
+	c.srv.sealMu.Unlock()
+	fmt.Printf("standby %q PROMOTED: serving as root at watermark %d, members %v\n",
+		c.owner, merger.SealedThrough(), merger.Nodes())
+	return nil
+}
+
+// stop ends the watch loop (a promoted standby's rootMerge is stopped
+// by the server like any root's).
+func (c *standbyControl) stop() {
+	if c.stopc != nil {
+		close(c.stopc)
+		c.wg.Wait()
+	}
+}
+
+// leaseHeartbeat derives the heartbeat period from the staleness
+// threshold: several beats must fit comfortably inside it.
+func leaseHeartbeat(staleAfter time.Duration) time.Duration {
+	hb := staleAfter / 4
+	if hb < 50*time.Millisecond {
+		hb = 50 * time.Millisecond
+	}
+	return hb
+}
+
+// currentRoot returns the barrier driver this server is merging with:
+// the configured one on -role=root, the promoted one on a standby that
+// took over, nil otherwise.
+func (s *streamServer) currentRoot() *rootMerge {
+	if s.root != nil {
+		return s.root
+	}
+	if s.standby != nil {
+		return s.standby.root.Load()
 	}
 	return nil
 }
@@ -434,7 +816,12 @@ func (s *streamServer) handleTally(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a sealed tally frame")
 		return
 	}
-	if s.root == nil {
+	root := s.currentRoot()
+	if root == nil {
+		if s.standby != nil {
+			httpError(w, http.StatusServiceUnavailable, "this standby has not been promoted; the root is still serving")
+			return
+		}
 		httpError(w, http.StatusNotFound, "this node is not a root; tallies go to the -role=root server")
 		return
 	}
@@ -453,7 +840,7 @@ func (s *streamServer) handleTally(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding tally: %v", err)
 		return
 	}
-	resp, err := s.root.onTally(tally)
+	resp, err := root.onTally(tally)
 	if err != nil {
 		// Seal/persist failures are server faults (and fail-stop the
 		// server); only tally validation is the client's problem.
@@ -468,6 +855,52 @@ func (s *streamServer) handleTally(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleMembership is the root's join/leave endpoint: one CRC-framed
+// announcement per POST, answered with the effective epoch boundary.
+func (s *streamServer) handleMembership(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a membership announce frame")
+		return
+	}
+	root := s.currentRoot()
+	if root == nil {
+		if s.standby != nil {
+			httpError(w, http.StatusServiceUnavailable, "this standby has not been promoted; announce to the root")
+			return
+		}
+		httpError(w, http.StatusNotFound, "this node is not a root; membership changes go to the -role=root server")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "reading announce: %v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading announce: %v", err)
+		return
+	}
+	a, err := ldprecover.UnmarshalAnnounce(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding announce: %v", err)
+		return
+	}
+	resp, err := root.onAnnounce(a)
+	if err != nil {
+		var sealErr rootSealError
+		if errors.As(err, &sealErr) {
+			httpError(w, http.StatusInternalServerError, "applying membership change: %v", err)
+			return
+		}
+		// Membership conflicts — a stranger leaving, the last member
+		// leaving — are the client's state being wrong, not a bad frame.
+		httpError(w, http.StatusConflict, "membership change for %q: %v", a.NodeID, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // clusterStatsResponse is the role-specific stats section.
 type clusterStatsResponse struct {
 	Role string `json:"role"`
@@ -476,11 +909,15 @@ type clusterStatsResponse struct {
 	RootAddr       string `json:"root_addr,omitempty"`
 	PendingTallies int    `json:"pending_tallies,omitempty"`
 	DroppedTallies int64  `json:"dropped_tallies,omitempty"`
-	// Root fields.
+	Failovers      int64  `json:"failovers,omitempty"`
+	// Root fields (also set on a promoted standby).
 	Nodes         []string              `json:"nodes,omitempty"`
 	SealedThrough int                   `json:"sealed_through,omitempty"`
 	Duplicates    int64                 `json:"duplicates,omitempty"`
 	Merged        []mergedEpochResponse `json:"merged,omitempty"`
+	// Standby fields.
+	Promoted    bool `json:"promoted,omitempty"`
+	SnapshotSeq int  `json:"snapshot_seq,omitempty"`
 }
 
 // mergedEpochResponse is one sealed epoch's partial-epoch accounting.
@@ -495,30 +932,40 @@ type mergedEpochResponse struct {
 // clusterStats builds the role section of /v1/stats, nil in single-node
 // mode.
 func (s *streamServer) clusterStats() *clusterStatsResponse {
-	switch {
-	case s.pusher != nil:
+	if s.pusher != nil {
 		return &clusterStatsResponse{
 			Role:           "frontend",
 			NodeID:         s.pusher.nodeID,
-			RootAddr:       s.pusher.rootURL,
+			RootAddr:       s.pusher.url(),
 			PendingTallies: s.pusher.pendingCount(),
 			DroppedTallies: s.pusher.droppedCount(),
+			Failovers:      s.pusher.failoverCount(),
 		}
-	case s.root != nil:
-		cs := &clusterStatsResponse{
-			Role:          "root",
-			Nodes:         s.root.merger.Nodes(),
-			SealedThrough: s.root.watermark(),
-			Duplicates:    s.root.merger.Duplicates(),
-		}
-		for _, m := range s.root.merger.Merged() {
-			cs.Merged = append(cs.Merged, mergedEpochResponse{
-				Epoch: m.Epoch, Nodes: m.Nodes, Missing: m.Missing,
-				Total: m.Total, Duplicates: m.Duplicates,
-			})
-		}
-		return cs
-	default:
+	}
+	root := s.currentRoot()
+	if root == nil && s.standby == nil {
 		return nil
 	}
+	if root == nil {
+		// An unpromoted standby: report what it has tailed so far.
+		seq, _ := s.standby.tailer.SnapshotSeq()
+		return &clusterStatsResponse{Role: "standby", SnapshotSeq: seq}
+	}
+	cs := &clusterStatsResponse{
+		Role:          "root",
+		Nodes:         root.merger.Nodes(),
+		SealedThrough: root.watermark(),
+		Duplicates:    root.merger.Duplicates(),
+	}
+	if s.standby != nil {
+		cs.Role = "standby"
+		cs.Promoted = true
+	}
+	for _, m := range root.merger.Merged() {
+		cs.Merged = append(cs.Merged, mergedEpochResponse{
+			Epoch: m.Epoch, Nodes: m.Nodes, Missing: m.Missing,
+			Total: m.Total, Duplicates: m.Duplicates,
+		})
+	}
+	return cs
 }

@@ -523,8 +523,35 @@ func TestServeClusterFlagValidation(t *testing.T) {
 		"root-with-epoch": {
 			[]string{"-role", "root", "-nodes", "a", "-epoch", "30s"},
 			[]string{"-epoch", "-tally-timeout"}},
-		"rootless-root-addr":  {[]string{"-root-addr", "http://r:1"}, []string{"-root-addr", "-role"}},
-		"rootless-nodes":      {[]string{"-nodes", "a"}, []string{"-nodes", "-role"}},
+		"rootless-root-addr": {[]string{"-root-addr", "http://r:1"}, []string{"-root-addr", "-role"}},
+		"rootless-nodes":     {[]string{"-nodes", "a"}, []string{"-nodes", "-role"}},
+		"standby-no-data-dir": {
+			[]string{"-role", "standby", "-root-addr", "http://r:1"},
+			[]string{"-data-dir"}},
+		"standby-no-root-addr": {
+			[]string{"-role", "standby", "-data-dir", "/tmp/x"},
+			[]string{"-root-addr"}},
+		"standby-bad-promote-after": {
+			[]string{"-role", "standby", "-data-dir", "/tmp/x", "-root-addr", "http://r:1", "-promote-after", "0s"},
+			[]string{"-promote-after"}},
+		"standby-with-epoch": {
+			[]string{"-role", "standby", "-data-dir", "/tmp/x", "-root-addr", "http://r:1", "-epoch", "30s"},
+			[]string{"-epoch"}},
+		"root-with-join": {
+			[]string{"-role", "root", "-nodes", "a", "-join"},
+			[]string{"-join", "-role=frontend"}},
+		"root-with-promote-after": {
+			[]string{"-role", "root", "-nodes", "a", "-promote-after", "5s"},
+			[]string{"-promote-after", "-role=standby"}},
+		"rootless-standby-addr": {
+			[]string{"-standby-addr", "http://s:1"},
+			[]string{"-standby-addr", "-role=frontend"}},
+		"frontend-bad-standby-url": {
+			[]string{"-role", "frontend", "-root-addr", "http://r:1", "-node-id", "a", "-standby-addr", "s:1:2:3"},
+			[]string{"-standby-addr"}},
+		"root-with-leave": {
+			[]string{"-role", "root", "-nodes", "a", "-leave-on-shutdown"},
+			[]string{"-leave-on-shutdown", "-role=frontend"}},
 	} {
 		t.Run(name, func(t *testing.T) {
 			err := runServe(tc.args)
@@ -607,7 +634,7 @@ func TestRootForceSealStaleGuard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rm := newRootMerge(merger, nil, 0, func(err error) { t.Errorf("fatal: %v", err) })
+	rm := newRootMerge(merger, nil, nil, 0, func(err error) { t.Errorf("fatal: %v", err) })
 
 	// Nothing pending, nothing sealed: a forced seal is a visible no-op.
 	if _, err := rm.forceSeal(); !errors.Is(err, errNothingToSeal) {
@@ -712,7 +739,8 @@ func TestRootSealEndpointEmptyBarrier(t *testing.T) {
 // evicts its oldest tallies past the retention bound instead of
 // growing without limit, and counts what it dropped.
 func TestTallyPusherQueueBound(t *testing.T) {
-	p := newTallyPusher("fe-0", "http://127.0.0.1:1", time.Hour, 3) // unreachable root
+	p := newTallyPusher("fe-0", []string{"http://127.0.0.1:1"}, time.Hour, 3) // unreachable root
+	p.flushTimeout = 50 * time.Millisecond
 	defer func() {
 		// close() reports the undelivered tail; that is the point here.
 		if err := p.close(); err == nil {

@@ -78,18 +78,22 @@ func runServe(args []string) error {
 		dataDir  = fs.String("data-dir", "", "durable state directory: WAL + per-seal snapshots (empty: in-memory only)")
 		fsyncN   = fs.Int("fsync-every", 1, "fsync the WAL every n-th batch (negative: only at epoch seals)")
 		walSeg   = fs.Int64("wal-segment", ldprecover.DefaultWALSegmentBytes, "WAL segment rotation size in bytes")
-		role     = fs.String("role", "", "cluster role: frontend (ingest + push sealed tallies) or root (merge tallies); empty: single node")
-		rootAddr = fs.String("root-addr", "", "frontend: the root node's base URL, e.g. http://10.0.0.1:8347")
-		nodeID   = fs.String("node-id", "", "frontend: unique node id; the root dedupes tallies by (node id, epoch)")
-		nodesF   = fs.String("nodes", "", "root: comma-separated expected frontend node ids (the epoch barrier set)")
-		tallyTO  = fs.Duration("tally-timeout", 30*time.Second, "root: straggler timeout before a partial epoch seal (0: wait forever)")
+		role     = fs.String("role", "", "cluster role: frontend (ingest + push sealed tallies), root (merge tallies), or standby (tail the root, promote on failure); empty: single node")
+		rootAddr = fs.String("root-addr", "", "frontend/standby: the root node's base URL, e.g. http://10.0.0.1:8347")
+		nodeID   = fs.String("node-id", "", "frontend: unique node id (the root dedupes tallies by it); standby: lease owner name")
+		nodesF   = fs.String("nodes", "", "root: comma-separated expected frontend node ids (the epoch barrier set); standby: promotion fallback when the seal-log is empty")
+		tallyTO  = fs.Duration("tally-timeout", 30*time.Second, "root/standby: straggler timeout before a partial epoch seal (0: wait forever)")
+		sbAddr   = fs.String("standby-addr", "", "frontend: the standby's base URL; tally delivery fails over to it when the root stops answering")
+		joinF    = fs.Bool("join", false, "frontend: announce this node to the root at boot and start contributing at the assigned epoch boundary")
+		leaveF   = fs.Bool("leave-on-shutdown", false, "frontend: announce departure at shutdown so the root's barrier stops expecting this node")
+		promoteA = fs.Duration("promote-after", 10*time.Second, "standby: promote once the root has been unreachable this long and its lease is stale")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	explicit := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-	nodes, err := validateClusterFlags(*role, *rootAddr, *nodeID, *nodesF, *tallyTO, explicit)
+	nodes, err := validateClusterFlags(*role, *rootAddr, *nodeID, *nodesF, *sbAddr, *dataDir, *tallyTO, *promoteA, explicit)
 	if err != nil {
 		return err
 	}
@@ -122,17 +126,21 @@ func runServe(args []string) error {
 			MinZ:        *minZ,
 			StableAfter: *stable,
 		},
-		QueueLen:     *queueLen,
-		Ingesters:    *ingest,
-		MaxBody:      *maxBody,
-		DataDir:      *dataDir,
-		SyncEvery:    *fsyncN,
-		SegmentBytes: *walSeg,
-		Role:         *role,
-		NodeID:       *nodeID,
-		RootAddr:     *rootAddr,
-		Nodes:        nodes,
-		TallyTimeout: *tallyTO,
+		QueueLen:        *queueLen,
+		Ingesters:       *ingest,
+		MaxBody:         *maxBody,
+		DataDir:         *dataDir,
+		SyncEvery:       *fsyncN,
+		SegmentBytes:    *walSeg,
+		Role:            *role,
+		NodeID:          *nodeID,
+		RootAddr:        *rootAddr,
+		Nodes:           nodes,
+		TallyTimeout:    *tallyTO,
+		StandbyAddr:     *sbAddr,
+		Join:            *joinF,
+		LeaveOnShutdown: *leaveF,
+		PromoteAfter:    *promoteA,
 	})
 	if err != nil {
 		return err
@@ -158,9 +166,10 @@ func runServe(args []string) error {
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
-	if *epoch > 0 && srv.root == nil {
-		// A root has no epoch ticker: its epochs close on the frontends'
-		// shared clock, via tally barriers and the straggler timeout.
+	if *epoch > 0 && srv.root == nil && srv.standby == nil {
+		// Roots and standbys have no epoch ticker: their epochs close on
+		// the frontends' shared clock, via tally barriers and the
+		// straggler timeout.
 		ticker = time.NewTicker(*epoch)
 		tick = ticker.C
 		defer ticker.Stop()
@@ -176,6 +185,9 @@ func runServe(args []string) error {
 	case roleRoot:
 		fmt.Printf("root serving %s (d=%d, epsilon=%g) on http://%s  merging %d frontends %v, straggler timeout %s\n",
 			proto.Name(), *d, *eps, ln.Addr(), len(nodes), nodes, *tallyTO)
+	case roleStandby:
+		fmt.Printf("standby on http://%s  tailing %s, watching root %s, promoting after %s unreachable\n",
+			ln.Addr(), *dataDir, *rootAddr, *promoteA)
 	default:
 		fmt.Printf("serving %s (d=%d, epsilon=%g) on http://%s  epoch=%s window=%d\n",
 			proto.Name(), *d, *eps, ln.Addr(), *epoch, *window)
@@ -188,6 +200,7 @@ func runServe(args []string) error {
 const (
 	roleFrontend = "frontend"
 	roleRoot     = "root"
+	roleStandby  = "standby"
 )
 
 // validateClusterFlags rejects inconsistent cluster configurations up
@@ -195,32 +208,60 @@ const (
 // misconfigured node would otherwise hit mid-flight — a frontend with
 // no root, a root with no barrier set, role-specific flags on the wrong
 // role — fails at startup instead. It returns the parsed -nodes set.
-func validateClusterFlags(role, rootAddr, nodeID, nodesF string, tallyTO time.Duration,
-	explicit map[string]bool) ([]string, error) {
+func validateClusterFlags(role, rootAddr, nodeID, nodesF, standbyAddr, dataDir string,
+	tallyTO, promoteAfter time.Duration, explicit map[string]bool) ([]string, error) {
 	switch role {
-	case "", roleFrontend, roleRoot:
+	case "", roleFrontend, roleRoot, roleStandby:
 	default:
-		return nil, fmt.Errorf("-role %q is not one of frontend, root (or empty for single-node)", role)
+		return nil, fmt.Errorf("-role %q is not one of frontend, root, standby (or empty for single-node)", role)
 	}
-	if role != roleFrontend {
-		want := "-role=frontend"
-		if role == roleRoot {
-			want = "a frontend, not -role=root"
+	checkURL := func(flagName, v string) error {
+		if u, err := url.Parse(v); err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+			return fmt.Errorf("-%s %q is not an http(s) base URL like http://10.0.0.1:8347", flagName, v)
 		}
+		return nil
+	}
+	if role != roleFrontend && role != roleStandby {
 		if explicit["root-addr"] {
-			return nil, fmt.Errorf("-root-addr is a frontend flag: sealed tallies are pushed by %s", want)
+			return nil, fmt.Errorf("-root-addr is for nodes that talk to the root (-role=frontend pushes tallies there, -role=standby health-checks it); not for -role=%q", role)
 		}
 		if explicit["node-id"] {
-			return nil, fmt.Errorf("-node-id is a frontend flag: the root dedupes by it, %s supplies it", want)
+			return nil, fmt.Errorf("-node-id names a frontend (the root dedupes by it) or a standby's lease owner; not for -role=%q", role)
 		}
 	}
-	if role != roleRoot {
+	if role != roleRoot && role != roleStandby {
 		if explicit["nodes"] {
-			return nil, fmt.Errorf("-nodes is a root flag (the epoch barrier set); it needs -role=root")
+			return nil, fmt.Errorf("-nodes is the epoch barrier set; it needs -role=root (or -role=standby as promotion fallback)")
 		}
 		if explicit["tally-timeout"] {
-			return nil, fmt.Errorf("-tally-timeout is a root flag (straggler policy); it needs -role=root")
+			return nil, fmt.Errorf("-tally-timeout is the straggler policy; it needs -role=root (or -role=standby for after promotion)")
 		}
+	}
+	if role != roleFrontend {
+		for _, f := range []string{"standby-addr", "join", "leave-on-shutdown"} {
+			if explicit[f] {
+				return nil, fmt.Errorf("-%s is a frontend flag; it needs -role=frontend", f)
+			}
+		}
+	}
+	if role != roleStandby && explicit["promote-after"] {
+		return nil, fmt.Errorf("-promote-after is the standby's failover threshold; it needs -role=standby")
+	}
+	parseNodes := func() ([]string, error) {
+		var nodes []string
+		seen := make(map[string]bool)
+		for _, n := range strings.Split(nodesF, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				return nil, fmt.Errorf("-nodes %q lists an empty node id", nodesF)
+			}
+			if seen[n] {
+				return nil, fmt.Errorf("-nodes lists %q twice; node ids must be unique", n)
+			}
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+		return nodes, nil
 	}
 	switch role {
 	case roleFrontend:
@@ -235,8 +276,13 @@ func validateClusterFlags(role, rootAddr, nodeID, nodesF string, tallyTO time.Du
 		if rootAddr == "" {
 			return nil, fmt.Errorf("-role=frontend requires -root-addr (the root node's base URL)")
 		}
-		if u, err := url.Parse(rootAddr); err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
-			return nil, fmt.Errorf("-root-addr %q is not an http(s) base URL like http://10.0.0.1:8347", rootAddr)
+		if err := checkURL("root-addr", rootAddr); err != nil {
+			return nil, err
+		}
+		if standbyAddr != "" {
+			if err := checkURL("standby-addr", standbyAddr); err != nil {
+				return nil, err
+			}
 		}
 		if nodeID == "" {
 			return nil, fmt.Errorf("-role=frontend requires -node-id (unique per frontend; the root dedupes tallies by it)")
@@ -255,20 +301,30 @@ func validateClusterFlags(role, rootAddr, nodeID, nodesF string, tallyTO time.Du
 		if tallyTO < 0 {
 			return nil, fmt.Errorf("-tally-timeout %s is negative; use 0 to wait for stragglers forever", tallyTO)
 		}
-		var nodes []string
-		seen := make(map[string]bool)
-		for _, n := range strings.Split(nodesF, ",") {
-			n = strings.TrimSpace(n)
-			if n == "" {
-				return nil, fmt.Errorf("-nodes %q lists an empty node id", nodesF)
-			}
-			if seen[n] {
-				return nil, fmt.Errorf("-nodes lists %q twice; node ids must be unique", n)
-			}
-			seen[n] = true
-			nodes = append(nodes, n)
+		return parseNodes()
+	case roleStandby:
+		if explicit["epoch"] {
+			return nil, fmt.Errorf("-epoch is the frontends' shared clock; a standby's epochs close on tally barriers after promotion")
 		}
-		return nodes, nil
+		if dataDir == "" {
+			return nil, fmt.Errorf("-role=standby requires -data-dir (the root's data directory, shared or replicated, to tail snapshots and the seal-log from)")
+		}
+		if rootAddr == "" {
+			return nil, fmt.Errorf("-role=standby requires -root-addr (the root to health-check for failover)")
+		}
+		if err := checkURL("root-addr", rootAddr); err != nil {
+			return nil, err
+		}
+		if tallyTO < 0 {
+			return nil, fmt.Errorf("-tally-timeout %s is negative; use 0 to wait for stragglers forever", tallyTO)
+		}
+		if promoteAfter <= 0 {
+			return nil, fmt.Errorf("-promote-after %s must be positive: it is both the failover threshold and the lease staleness bound", promoteAfter)
+		}
+		if nodesF == "" {
+			return nil, nil
+		}
+		return parseNodes()
 	}
 	return nil, nil
 }
@@ -346,9 +402,10 @@ type streamServerConfig struct {
 	SyncEvery    int
 	SegmentBytes int64
 	// Role selects cluster mode: "" (single node), "frontend" (push
-	// sealed tallies to RootAddr as NodeID), or "root" (merge tallies
+	// sealed tallies to RootAddr as NodeID), "root" (merge tallies
 	// from the Nodes barrier set, forcing partial seals after
-	// TallyTimeout).
+	// TallyTimeout), or "standby" (tail the root's DataDir, promote
+	// when the root goes dark past PromoteAfter).
 	Role         string
 	NodeID       string
 	RootAddr     string
@@ -357,6 +414,23 @@ type streamServerConfig struct {
 	// PushInterval is the frontend's re-push cadence; zero selects
 	// defaultPushInterval (tests shrink it).
 	PushInterval time.Duration
+	// StandbyAddr is the frontend's failover delivery target: after
+	// consecutive failed pushes to RootAddr the pusher rotates here.
+	StandbyAddr string
+	// Join makes a frontend announce itself to the root at boot and
+	// align its epoch clock to the assigned boundary; LeaveOnShutdown
+	// announces departure after the final flush.
+	Join            bool
+	LeaveOnShutdown bool
+	// JoinTimeout bounds the boot-time join retry loop; zero selects
+	// 30s (tests shrink it).
+	JoinTimeout time.Duration
+	// PromoteAfter is the standby's failover threshold and, on both
+	// root and standby, the lease staleness bound; zero selects 10s.
+	PromoteAfter time.Duration
+	// StandbyPoll is the standby's snapshot-tail/health-check cadence;
+	// zero derives it from PromoteAfter.
+	StandbyPoll time.Duration
 }
 
 // ingestBatch is one queued POST /v1/reports body: the decoded reports
@@ -379,12 +453,19 @@ type streamServer struct {
 
 	// pusher is set on frontends: sealed epochs enqueue here and are
 	// delivered to the root at-least-once. root is set on roots: the
-	// barrier driver behind POST /v1/tally. Both nil on a single node.
-	pusher *tallyPusher
-	root   *rootMerge
+	// barrier driver behind POST /v1/tally. standby is set on standbys:
+	// the tail/health/promotion machinery, which installs a rootMerge of
+	// its own when it takes over. All nil on a single node.
+	pusher  *tallyPusher
+	root    *rootMerge
+	standby *standbyControl
+	// leaveOnShutdown: the frontend announces its departure after the
+	// final flush, so the root's barrier stops expecting it.
+	leaveOnShutdown bool
 	// sealOnDrain: a shutdown drain seals the final epoch — except on a
-	// root, whose epochs close on the frontends' clock; sealing there
-	// would advance the barrier past tallies still en route.
+	// root or standby, whose epochs close on the frontends' clock;
+	// sealing there would advance the barrier past tallies still en
+	// route.
 	sealOnDrain bool
 
 	// sealMu serializes seals so ticker, /v1/seal and drain cannot
@@ -421,9 +502,21 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 		return nil, fmt.Errorf("max body %d bytes is below a single report frame", cfg.MaxBody)
 	}
 	switch cfg.Role {
-	case "", roleFrontend, roleRoot:
+	case "", roleFrontend, roleRoot, roleStandby:
 	default:
 		return nil, fmt.Errorf("unknown cluster role %q", cfg.Role)
+	}
+	if cfg.PromoteAfter <= 0 {
+		cfg.PromoteAfter = 10 * time.Second
+	}
+	if cfg.StandbyPoll <= 0 {
+		cfg.StandbyPoll = cfg.PromoteAfter / 4
+		if cfg.StandbyPoll > 500*time.Millisecond {
+			cfg.StandbyPoll = 500 * time.Millisecond
+		}
+		if cfg.StandbyPoll < 10*time.Millisecond {
+			cfg.StandbyPoll = 10 * time.Millisecond
+		}
 	}
 	if cfg.Role == roleFrontend {
 		// Frontends never identify targets: they see only their slice of
@@ -440,25 +533,80 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 		queue:       make(chan ingestBatch, cfg.QueueLen),
 		maxBody:     cfg.MaxBody,
 		fatalc:      make(chan error, 1),
-		sealOnDrain: cfg.Role != roleRoot,
+		sealOnDrain: cfg.Role != roleRoot && cfg.Role != roleStandby,
 	}
 	switch {
 	case cfg.Role == roleRoot:
-		var snaps *ldprecover.SnapshotStore
+		var (
+			snaps *ldprecover.SnapshotStore
+			slog  *ldprecover.SealLog
+			lease *ldprecover.Lease
+		)
 		if cfg.DataDir != "" {
+			// The lease first: a directory whose lease another root (or a
+			// promoted standby) is heartbeating must not be opened — two
+			// writers would fork the snapshot history.
+			lease, err = ldprecover.AcquireLease(cfg.DataDir, "root", cfg.PromoteAfter)
+			if err != nil {
+				return nil, fmt.Errorf("-role=root with -data-dir %s: %w", cfg.DataDir, err)
+			}
 			// Restore before the merger exists: the barrier resumes at
 			// the restored sealed-epoch watermark.
 			snaps, err = ldprecover.OpenSnapshotStore(cfg.DataDir, mgr, 0)
 			if err != nil {
-				return nil, fmt.Errorf("-role=root with -data-dir %s: %w", cfg.DataDir, err)
+				return nil, errors.Join(fmt.Errorf("-role=root with -data-dir %s: %w", cfg.DataDir, err), lease.Release())
+			}
+			if slog, err = ldprecover.OpenSealLog(cfg.DataDir); err != nil {
+				return nil, errors.Join(err, lease.Release())
 			}
 		}
 		merger, err := ldprecover.NewSealedMerger(mgr, cfg.Nodes)
 		if err != nil {
 			return nil, err
 		}
-		s.root = newRootMerge(merger, snaps, cfg.TallyTimeout, s.reportFatal)
+		if slog != nil {
+			// The journaled membership supersedes -nodes: joins and leaves
+			// acked before the restart must survive it.
+			if members, sched, ok := slog.Membership(); ok {
+				if err := merger.SetMembership(members, sched); err != nil {
+					return nil, errors.Join(fmt.Errorf("restoring seal-log membership: %w", err), lease.Release())
+				}
+				fmt.Printf("root membership restored from seal-log: %v\n", members)
+			}
+		}
+		s.root = newRootMerge(merger, snaps, slog, cfg.TallyTimeout, s.reportFatal)
+		if lease != nil {
+			s.root.startLease(lease, leaseHeartbeat(cfg.PromoteAfter))
+		}
 		s.sealFn = s.root.forceSeal
+	case cfg.Role == roleStandby:
+		// Before cfg.DataDir: the standby's data dir is the *root's* —
+		// tailed read-only until promotion, never a report WAL.
+		streamCfg := cfg.Stream
+		tailer, err := ldprecover.NewStandbyTailer(cfg.DataDir, func() (*ldprecover.EpochManager, error) {
+			return ldprecover.NewEpochManager(streamCfg)
+		})
+		if err != nil {
+			return nil, err
+		}
+		owner := cfg.NodeID
+		if owner == "" {
+			owner = "standby"
+		}
+		s.standby = &standbyControl{
+			tailer:       tailer,
+			dataDir:      cfg.DataDir,
+			rootAddr:     cfg.RootAddr,
+			owner:        owner,
+			fallback:     cfg.Nodes,
+			promoteAfter: cfg.PromoteAfter,
+			pollEvery:    cfg.StandbyPoll,
+			tallyTimeout: cfg.TallyTimeout,
+			client:       &http.Client{},
+			srv:          s,
+		}
+		s.sealFn = func() (*ldprecover.WindowEstimate, error) { return nil, errStandbyNotPromoted }
+		s.standby.start()
 	case cfg.DataDir != "":
 		s.store, err = ldprecover.OpenDurableStore(cfg.DataDir, mgr, ldprecover.DurableOptions{
 			SegmentBytes: cfg.SegmentBytes,
@@ -474,7 +622,12 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 	if cfg.Role == roleFrontend {
 		// The delivery queue's bound is the sealed-epoch ring's retention:
 		// a tally older than the ring would not survive a restart either.
-		s.pusher = newTallyPusher(cfg.NodeID, cfg.RootAddr, cfg.PushInterval, mgr.Config().History)
+		urls := []string{cfg.RootAddr}
+		if cfg.StandbyAddr != "" {
+			urls = append(urls, cfg.StandbyAddr)
+		}
+		s.leaveOnShutdown = cfg.LeaveOnShutdown
+		s.pusher = newTallyPusher(cfg.NodeID, urls, cfg.PushInterval, mgr.Config().History)
 		// Every seal also enqueues the sealed epoch's tally for delivery.
 		// The clock resync first: if the root has sealed past this node's
 		// counter — it was down past the straggler timeout, or restarted
@@ -505,6 +658,38 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 			s.pusher.enqueue(&ldprecover.Tally{
 				NodeID: nodeID, Epoch: ep.Seq, Counts: ep.Counts, Total: ep.Total,
 			})
+		}
+		if cfg.Join {
+			// Announce at boot, synchronously: the node must know its
+			// assigned epoch boundary before its first seal, or its early
+			// tallies would be rejected as from a non-member. The root
+			// answers its sealed watermark in the same round trip, so the
+			// joiner's clock aligns to the boundary it was given. Join is
+			// idempotent on the root — a re-announcing member just gets
+			// its standing boundary back.
+			jt := cfg.JoinTimeout
+			if jt <= 0 {
+				jt = 30 * time.Second
+			}
+			deadline := time.Now().Add(jt)
+			for {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				ar, err := s.pusher.announce(ctx, ldprecover.AnnounceJoin, 0)
+				cancel()
+				if err == nil {
+					mgr.AdvanceEpochTo(ar.Effective)
+					fmt.Printf("frontend %q joined: contributing from epoch %d\n", nodeID, ar.Effective)
+					break
+				}
+				if time.Now().After(deadline) {
+					errs := errors.Join(fmt.Errorf("joining the cluster via %s: %w", s.pusher.url(), err), s.pusher.close())
+					if s.store != nil {
+						errs = errors.Join(errs, s.store.Close())
+					}
+					return nil, errs
+				}
+				time.Sleep(200 * time.Millisecond)
+			}
 		}
 	}
 	for i := 0; i < cfg.Ingesters; i++ {
@@ -540,10 +725,27 @@ func (s *streamServer) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reports", s.handleReports)
 	mux.HandleFunc("/v1/tally", s.handleTally)
+	mux.HandleFunc("/v1/membership", s.handleMembership)
 	mux.HandleFunc("/v1/seal", s.handleSeal)
 	mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	return mux
+}
+
+// manager returns the EpochManager reads should serve from: a standby
+// serves the promoted root's manager once it took over, the warm tailed
+// one before that (so /v1/estimate answers from the last snapshot even
+// pre-promotion), and every other role its own.
+func (s *streamServer) manager() *ldprecover.EpochManager {
+	if s.standby != nil {
+		if rm := s.standby.root.Load(); rm != nil {
+			return rm.merger.Manager()
+		}
+		if m := s.standby.tailer.Manager(); m != nil {
+			return m
+		}
+	}
+	return s.mgr
 }
 
 // reportFatal hands a handler- or timer-observed fatal error to
@@ -585,15 +787,37 @@ func (s *streamServer) drain() (*ldprecover.WindowEstimate, error) {
 }
 
 // close releases the role-specific machinery: the frontend's pusher
-// (after a bounded final flush), the root's straggler timer and
-// snapshot store, the durable store.
+// (after a bounded final flush, then the leave announcement if
+// configured), the root's lease, seal-log and snapshot store, the
+// standby's watch loop, the durable store.
 func (s *streamServer) close() error {
 	var errs []error
 	if s.pusher != nil {
+		// The flush first — a leave boundary at or past the last sealed
+		// epoch only holds if that epoch's tally got delivered.
 		errs = append(errs, s.pusher.close())
+		if s.leaveOnShutdown {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			from := s.mgr.Stats().Epochs
+			if ar, err := s.pusher.announce(ctx, ldprecover.AnnounceLeave, from); err != nil {
+				// Not fatal to the departing node: the root's straggler
+				// timeout retires it from the barrier eventually.
+				fmt.Printf("frontend %q leave announcement failed (the root keeps expecting it until its straggler timeout): %v\n",
+					s.pusher.nodeID, err)
+			} else {
+				fmt.Printf("frontend %q left: not expected from epoch %d\n", s.pusher.nodeID, ar.Effective)
+			}
+			cancel()
+		}
 	}
 	if s.root != nil {
 		errs = append(errs, s.root.stop())
+	}
+	if s.standby != nil {
+		s.standby.stop()
+		if rm := s.standby.root.Load(); rm != nil {
+			errs = append(errs, rm.stop())
+		}
 	}
 	if s.store != nil {
 		errs = append(errs, s.store.Close())
@@ -625,9 +849,9 @@ func (s *streamServer) handleReports(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a report batch")
 		return
 	}
-	if s.root != nil {
+	if s.root != nil || s.standby != nil {
 		httpError(w, http.StatusConflict,
-			"this node runs -role=root: it ingests sealed tallies on /v1/tally; POST report batches to a frontend")
+			"this node merges sealed tallies (/v1/tally), it does not ingest report batches; POST them to a frontend")
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
@@ -711,6 +935,10 @@ func (s *streamServer) handleSeal(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusConflict, "sealing: %v", err)
 			return
 		}
+		if errors.Is(err, errStandbyNotPromoted) {
+			httpError(w, http.StatusServiceUnavailable, "sealing: %v", err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "sealing: %v", err)
 		// A failed seal is as fatal here as on the ticker path: tell the
 		// serve loop so the server shuts down and drains instead of
@@ -732,7 +960,7 @@ func (s *streamServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "window must be a positive epoch count")
 			return
 		}
-		est, err := s.mgr.EstimateWindow(k)
+		est, err := s.manager().EstimateWindow(k)
 		if err != nil {
 			httpError(w, http.StatusConflict, "%v", err)
 			return
@@ -740,7 +968,7 @@ func (s *streamServer) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, toEstimateResponse(est))
 		return
 	}
-	est := s.mgr.Latest()
+	est := s.manager().Latest()
 	if est == nil {
 		httpError(w, http.StatusConflict, "no epoch sealed yet")
 		return
@@ -769,7 +997,7 @@ func (s *streamServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET the server stats")
 		return
 	}
-	st := s.mgr.Stats()
+	st := s.manager().Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		Domain:          st.Domain,
 		Epochs:          st.Epochs,

@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"slices"
+	"sort"
 
 	"ldprecover/internal/attack"
 	"ldprecover/internal/dataset"
@@ -56,8 +58,28 @@ type StreamScenario struct {
 	// metrics are bit-identical either way — tally merging is exact —
 	// which TestRunStreamClusterEquivalence pins.
 	Frontends int
+	// Churn schedules membership changes for the cluster tier: each
+	// event joins or retires one frontend at its epoch boundary, and
+	// the epoch's population is partitioned across whichever nodes are
+	// members when it is collected. Because the union aggregate is
+	// simulated before partitioning, churn cannot change the merged
+	// bits — TestRunStreamChurnEquivalence pins that a churning
+	// cluster matches the single-node run exactly. Requires
+	// Frontends > 1.
+	Churn []ChurnEvent
 	// Seed drives the whole stream deterministically.
 	Seed uint64
+}
+
+// ChurnEvent is one scheduled membership change: at the start of epoch
+// Epoch the named frontend joins the cluster (or, with Leave set,
+// stops contributing from that epoch on). Joins of standing members
+// and repeated leaves are idempotent, mirroring the announcement
+// semantics of the serving tier.
+type ChurnEvent struct {
+	Epoch int
+	Node  string
+	Leave bool
 }
 
 // withDefaults fills zero fields with the paper's defaults and a
@@ -113,6 +135,18 @@ func (s StreamScenario) validate() error {
 	}
 	if s.Frontends < 0 || s.Frontends > 1<<10 {
 		return fmt.Errorf("experiment: %d frontends outside [0, %d]", s.Frontends, 1<<10)
+	}
+	if len(s.Churn) > 0 && s.Frontends <= 1 {
+		return fmt.Errorf("experiment: churn schedule needs a cluster (Frontends > 1)")
+	}
+	for _, ev := range s.Churn {
+		if ev.Node == "" {
+			return fmt.Errorf("experiment: churn event at epoch %d has no node id", ev.Epoch)
+		}
+		if ev.Epoch < 0 || ev.Epoch >= s.Epochs {
+			return fmt.Errorf("experiment: churn event for %q at epoch %d outside the %d-epoch stream",
+				ev.Node, ev.Epoch, s.Epochs)
+		}
 	}
 	return nil
 }
@@ -204,9 +238,42 @@ func RunStream(s StreamScenario) (*StreamMetrics, error) {
 		}
 	}
 
+	// The churn schedule drains in epoch order; events sharing an epoch
+	// apply in the order given.
+	churn := append([]ChurnEvent(nil), s.Churn...)
+	sort.SliceStable(churn, func(i, j int) bool { return churn[i].Epoch < churn[j].Epoch })
+
 	out := &StreamMetrics{TrueTargets: targets, StarEngagedAt: -1}
 	var cleanEst []float64
 	for e := 0; e < s.Epochs; e++ {
+		// Membership changes take effect at the boundary, before the
+		// epoch's population is partitioned: a joiner contributes from
+		// its effective epoch, a leaver contributes nothing from its.
+		for len(churn) > 0 && churn[0].Epoch == e {
+			ev := churn[0]
+			churn = churn[1:]
+			if ev.Leave {
+				if _, _, err := merger.Leave(ev.Node, e); err != nil {
+					return nil, err
+				}
+				feNodes = slices.DeleteFunc(feNodes, func(n string) bool { return n == ev.Node })
+			} else {
+				effective, err := merger.Join(ev.Node)
+				if err != nil {
+					return nil, err
+				}
+				if effective != e {
+					// Between epochs the barrier is empty, so a boundary
+					// join is always immediate; anything else means the
+					// simulation lost sync with the merger.
+					return nil, fmt.Errorf("experiment: join of %q at epoch %d became effective at %d",
+						ev.Node, e, effective)
+				}
+				if !slices.Contains(feNodes, ev.Node) {
+					feNodes = append(feNodes, ev.Node)
+				}
+			}
+		}
 		union, err := ldp.BatchSimulate(proto, r, s.Dataset.Counts, 1)
 		if err != nil {
 			return nil, err
@@ -232,7 +299,7 @@ func RunStream(s StreamScenario) (*StreamMetrics, error) {
 				return nil, err
 			}
 		} else {
-			parts, totals := splitCounts(union, total, s.Frontends)
+			parts, totals := splitCounts(union, total, len(feNodes))
 			for j, node := range feNodes {
 				if _, err := merger.MergeSealed(&ldp.Tally{
 					NodeID: node, Epoch: e, Counts: parts[j], Total: totals[j],

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -47,6 +48,134 @@ func TestRunStreamClusterEquivalence(t *testing.T) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("%d-frontend stream diverged from single-node\ngot  %+v\nwant %+v",
 				frontends, got, want)
+		}
+	}
+}
+
+// TestRunStreamChurnEquivalence pins the experiment-layer half of the
+// elasticity guarantee: a cluster whose membership churns mid-stream —
+// a frontend joining, another leaving, a third joining late — produces
+// per-epoch metrics bit-identical to the uninterrupted single-node
+// pipeline. Partitioning across a *changing* node set is as invisible
+// to the merged estimates as partitioning across a static one.
+func TestRunStreamChurnEquivalence(t *testing.T) {
+	ds, err := dataset.Zipf("cluster-churn", 48, 30_000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := StreamScenario{
+		Dataset:     ds,
+		Protocol:    OUE,
+		Epsilon:     1,
+		NumTargets:  2,
+		Beta:        0.08,
+		Epochs:      10,
+		AttackStart: 5,
+		StableAfter: 2,
+		MinHistory:  2,
+		Seed:        99,
+	}
+	want, err := RunStream(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.StarEngagedAt < 0 {
+		t.Fatal("scenario never engaged LDPRecover*; the equivalence check is vacuous")
+	}
+	s := base
+	s.Frontends = 3
+	s.Churn = []ChurnEvent{
+		{Epoch: 2, Node: "fe-3"},              // join while clean
+		{Epoch: 4, Node: "fe-1", Leave: true}, // leave right before the attack
+		{Epoch: 7, Node: "fe-4"},              // join mid-attack
+	}
+	got, err := RunStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("churning cluster diverged from single-node\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunStreamChurnRandomSchedules is the property-style sweep: random
+// join/leave schedules (never below one member, deterministic per
+// seed) always converge to the static single-node metrics.
+func TestRunStreamChurnRandomSchedules(t *testing.T) {
+	ds, err := dataset.Zipf("cluster-churn-rand", 32, 20_000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := StreamScenario{
+		Dataset:     ds,
+		Protocol:    OUE,
+		Epsilon:     1,
+		NumTargets:  2,
+		Beta:        0.08,
+		Epochs:      8,
+		AttackStart: 4,
+		StableAfter: 2,
+		MinHistory:  2,
+		Seed:        7,
+	}
+	want, err := RunStream(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 4; trial++ {
+		r := rand.New(rand.NewSource(int64(1000 + trial)))
+		const frontends = 3
+		active := []string{"fe-0", "fe-1", "fe-2"}
+		pool := []string{"fe-3", "fe-4", "fe-5"}
+		var churn []ChurnEvent
+		for e := 1; e < base.Epochs; e++ {
+			switch r.Intn(3) {
+			case 0: // join a pooled node
+				if len(pool) > 0 {
+					n := pool[0]
+					pool = pool[1:]
+					active = append(active, n)
+					churn = append(churn, ChurnEvent{Epoch: e, Node: n})
+				}
+			case 1: // leave, never dropping below one member
+				if len(active) > 1 {
+					i := r.Intn(len(active))
+					n := active[i]
+					active = append(active[:i], active[i+1:]...)
+					churn = append(churn, ChurnEvent{Epoch: e, Node: n, Leave: true})
+				}
+			}
+		}
+		s := base
+		s.Frontends = frontends
+		s.Churn = churn
+		got, err := RunStream(s)
+		if err != nil {
+			t.Fatalf("trial %d (%v): %v", trial, churn, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: churn schedule %v diverged from single-node", trial, churn)
+		}
+	}
+}
+
+// TestStreamChurnValidation: a churn schedule without a cluster, an
+// out-of-range epoch, or a nameless event is rejected up front.
+func TestStreamChurnValidation(t *testing.T) {
+	ds, err := dataset.Zipf("churn-val", 16, 1000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]StreamScenario{
+		"no-cluster": {Dataset: ds, Protocol: OUE, Epochs: 4,
+			Churn: []ChurnEvent{{Epoch: 1, Node: "fe-9"}}},
+		"epoch-out-of-range": {Dataset: ds, Protocol: OUE, Epochs: 4, Frontends: 2,
+			Churn: []ChurnEvent{{Epoch: 4, Node: "fe-9"}}},
+		"nameless": {Dataset: ds, Protocol: OUE, Epochs: 4, Frontends: 2,
+			Churn: []ChurnEvent{{Epoch: 1}}},
+	} {
+		if _, err := RunStream(s); err == nil {
+			t.Fatalf("%s: accepted", name)
 		}
 	}
 }

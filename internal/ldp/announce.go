@@ -1,0 +1,146 @@
+package ldp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// AnnounceKind distinguishes the two membership announcements.
+type AnnounceKind uint8
+
+const (
+	// AnnounceJoin asks the root to expect this node's tallies from an
+	// epoch boundary on.
+	AnnounceJoin AnnounceKind = 1
+	// AnnounceLeave tells the root this node stops contributing at an
+	// epoch boundary (its final partial epoch, if any, is already on the
+	// wire).
+	AnnounceLeave AnnounceKind = 2
+)
+
+func (k AnnounceKind) String() string {
+	switch k {
+	case AnnounceJoin:
+		return "join"
+	case AnnounceLeave:
+		return "leave"
+	}
+	return fmt.Sprintf("announce(%d)", uint8(k))
+}
+
+// Announce is a cluster membership announcement: a frontend joining or
+// leaving a running cluster. It travels in the same codec family as
+// Tally — CRC-framed, bounds-checked before allocation — because it
+// crosses the same node boundary and a corrupted membership change
+// would desynchronize the epoch barrier for every node.
+//
+// Membership changes always take effect at an epoch boundary, never
+// mid-barrier: the root answers with the effective epoch it assigned,
+// which may be later than the requested one (the current barrier epoch
+// already has tallies waiting, or the node has deliveries in flight
+// past the requested boundary).
+type Announce struct {
+	// NodeID identifies the frontend, under the same rules as
+	// Tally.NodeID.
+	NodeID string
+	// Kind is join or leave.
+	Kind AnnounceKind
+	// Epoch is the requested effective boundary. For a join it is the
+	// first epoch the node wants to contribute (0 = "the next
+	// boundary"); for a leave it is the first epoch the node will no
+	// longer contribute (its last sealed epoch + 1). The root clamps it
+	// forward, never backward.
+	Epoch int
+}
+
+// Validate checks the announcement's structural invariants.
+func (a *Announce) Validate() error {
+	if a.NodeID == "" {
+		return fmt.Errorf("%w: announce without a node id", ErrCodec)
+	}
+	if len(a.NodeID) > maxTallyNodeID {
+		return fmt.Errorf("%w: announce node id of %d bytes exceeds cap %d",
+			ErrCodec, len(a.NodeID), maxTallyNodeID)
+	}
+	if a.Kind != AnnounceJoin && a.Kind != AnnounceLeave {
+		return fmt.Errorf("%w: unknown announce kind %d", ErrCodec, a.Kind)
+	}
+	if a.Epoch < 0 {
+		return fmt.Errorf("%w: negative announce epoch %d", ErrCodec, a.Epoch)
+	}
+	return nil
+}
+
+// Membership-announce wire format (little endian):
+//
+//	byte 0..1:  "LA" magic
+//	byte 2:     announce format version (currently 1)
+//	byte 3:     kind (1 = join, 2 = leave)
+//	byte 4..5:  uint16 node id length, then that many id bytes
+//	then:       uint64 requested effective epoch
+//	trailer:    uint32 CRC-32C over every preceding byte
+const (
+	announceVersion    = 1
+	announceHeaderSize = 2 + 1 + 1 + 2
+)
+
+var announceMagic = [2]byte{'L', 'A'}
+
+// MarshalAnnounce frames a membership announcement for the wire.
+func MarshalAnnounce(a *Announce) ([]byte, error) {
+	if a == nil {
+		return nil, fmt.Errorf("%w: marshaling a nil announce", ErrCodec)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, announceHeaderSize+len(a.NodeID)+8+4)
+	b = append(b, announceMagic[0], announceMagic[1], announceVersion, byte(a.Kind))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(a.NodeID)))
+	b = append(b, a.NodeID...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(a.Epoch))
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, tallyCRCTable)), nil
+}
+
+// UnmarshalAnnounce parses a wire-format membership announcement. Like
+// the tally decoder, the CRC is verified before any field is trusted
+// and every declared length is bounds-checked before it drives an
+// allocation.
+func UnmarshalAnnounce(data []byte) (*Announce, error) {
+	if len(data) < announceHeaderSize+8+4 {
+		return nil, fmt.Errorf("%w: short announce frame (%d bytes)", ErrCodec, len(data))
+	}
+	if data[0] != announceMagic[0] || data[1] != announceMagic[1] {
+		return nil, fmt.Errorf("%w: bad announce magic %q", ErrCodec, string(data[:2]))
+	}
+	if data[2] != announceVersion {
+		return nil, fmt.Errorf("%w: unsupported announce version %d", ErrCodec, data[2])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, tallyCRCTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: announce checksum mismatch", ErrCodec)
+	}
+	a := &Announce{Kind: AnnounceKind(data[3])}
+	idLen := int(binary.LittleEndian.Uint16(data[4:]))
+	if idLen == 0 || idLen > maxTallyNodeID {
+		return nil, fmt.Errorf("%w: announce node id length %d outside [1, %d]",
+			ErrCodec, idLen, maxTallyNodeID)
+	}
+	rest := body[announceHeaderSize:]
+	if len(rest) != idLen+8 {
+		return nil, fmt.Errorf("%w: announce frame holds %d body bytes, id length %d needs %d",
+			ErrCodec, len(rest), idLen, idLen+8)
+	}
+	a.NodeID = string(rest[:idLen])
+	epoch := binary.LittleEndian.Uint64(rest[idLen:])
+	if epoch > math.MaxInt64 {
+		return nil, fmt.Errorf("%w: announce epoch out of int64 range", ErrCodec)
+	}
+	a.Epoch = int(epoch)
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

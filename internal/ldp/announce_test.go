@@ -1,0 +1,112 @@
+package ldp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestAnnounceRoundTrip(t *testing.T) {
+	for _, a := range []*Announce{
+		{NodeID: "fe-0", Kind: AnnounceJoin, Epoch: 0},
+		{NodeID: "fe-1", Kind: AnnounceJoin, Epoch: 17},
+		{NodeID: "a-node.example.com:8347", Kind: AnnounceLeave, Epoch: 1 << 40},
+	} {
+		frame, err := MarshalAnnounce(a)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", a, err)
+		}
+		back, err := UnmarshalAnnounce(frame)
+		if err != nil {
+			t.Fatalf("unmarshal %+v: %v", a, err)
+		}
+		if !reflect.DeepEqual(back, a) {
+			t.Fatalf("round trip mutated announce: %+v -> %+v", a, back)
+		}
+	}
+}
+
+func TestAnnounceValidation(t *testing.T) {
+	long := make([]byte, maxTallyNodeID+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	for name, a := range map[string]*Announce{
+		"empty-node":     {Kind: AnnounceJoin},
+		"long-node":      {NodeID: string(long), Kind: AnnounceJoin},
+		"zero-kind":      {NodeID: "a"},
+		"unknown-kind":   {NodeID: "a", Kind: 9},
+		"negative-epoch": {NodeID: "a", Kind: AnnounceLeave, Epoch: -1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := a.Validate(); !errors.Is(err, ErrCodec) {
+				t.Fatalf("Validate: %v", err)
+			}
+			if _, err := MarshalAnnounce(a); !errors.Is(err, ErrCodec) {
+				t.Fatalf("Marshal: %v", err)
+			}
+		})
+	}
+	if _, err := MarshalAnnounce(nil); !errors.Is(err, ErrCodec) {
+		t.Fatalf("nil announce: %v", err)
+	}
+}
+
+func TestAnnounceDecodeRejectsCorruption(t *testing.T) {
+	frame, err := MarshalAnnounce(&Announce{NodeID: "fe-0", Kind: AnnounceJoin, Epoch: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     frame[:len(frame)-5],
+		"magic":     append([]byte("XX"), frame[2:]...),
+		"version":   append([]byte{frame[0], frame[1], 99}, frame[3:]...),
+		"trailing":  append(append([]byte(nil), frame...), 0),
+		"bitflip":   append([]byte{frame[0], frame[1], frame[2], frame[3] ^ 0x40}, frame[4:]...),
+		"crc-flip":  append(append([]byte(nil), frame[:len(frame)-1]...), frame[len(frame)-1]^1),
+		"kind-flip": func() []byte { b := append([]byte(nil), frame...); b[3] = 7; return b }(),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalAnnounce(data); !errors.Is(err, ErrCodec) {
+			t.Fatalf("%s: decoded corrupt frame (%v)", name, err)
+		}
+	}
+}
+
+// FuzzUnmarshalAnnounce: arbitrary bytes must never panic the decoder,
+// and every frame that decodes must re-encode to an equivalent
+// announcement (the decoder accepts nothing the encoder cannot
+// reproduce).
+func FuzzUnmarshalAnnounce(f *testing.F) {
+	for _, seed := range []*Announce{
+		{NodeID: "fe-0", Kind: AnnounceJoin, Epoch: 0},
+		{NodeID: "fe-join.example.com", Kind: AnnounceJoin, Epoch: 42},
+		{NodeID: "z", Kind: AnnounceLeave, Epoch: 7},
+	} {
+		frame, err := MarshalAnnounce(seed)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte("LA"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := UnmarshalAnnounce(data)
+		if err != nil {
+			return
+		}
+		frame, err := MarshalAnnounce(a)
+		if err != nil {
+			t.Fatalf("decoded announce does not re-encode: %v", err)
+		}
+		back, err := UnmarshalAnnounce(frame)
+		if err != nil {
+			t.Fatalf("re-encoded announce does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(back, a) {
+			t.Fatal("announce mutated across re-encode round trip")
+		}
+	})
+}

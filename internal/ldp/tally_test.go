@@ -24,7 +24,7 @@ func TestTallyRoundTrip(t *testing.T) {
 	for _, tc := range []*Tally{
 		sampleTally("frontend-0", 0, 2, 1),
 		sampleTally("a", 17, 128, 2),
-		sampleTally("node-with-a-long-name.example.com:8347", 1 << 30, 4096, 3),
+		sampleTally("node-with-a-long-name.example.com:8347", 1<<30, 4096, 3),
 		{NodeID: "empty-epoch", Epoch: 5, Counts: make([]int64, 64), Total: 0},
 	} {
 		frame, err := MarshalTally(tc)

@@ -32,8 +32,8 @@ func FuzzWALOpen(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(append([]byte(nil), r1...))
 	f.Add(full)
-	f.Add(full[:len(full)-3])    // torn tail
-	f.Add(append(full, 0xff))    // trailing garbage
+	f.Add(full[:len(full)-3]) // torn tail
+	f.Add(append(full, 0xff)) // trailing garbage
 	flip := append([]byte(nil), full...)
 	flip[walHeaderSize+2] ^= 0x10 // corrupt first payload
 	f.Add(flip)

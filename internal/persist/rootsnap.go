@@ -41,6 +41,35 @@ type SnapshotStore struct {
 // manager and prepares per-seal snapshot writes. keep <= 0 selects
 // DefaultKeepSnapshots. dir must not hold a report-level WAL.
 func OpenSnapshotStore(dir string, mgr *stream.EpochManager, keep int) (*SnapshotStore, error) {
+	s, err := newSnapshotStore(dir, mgr, keep)
+	if err != nil {
+		return nil, err
+	}
+	_, state, found, err := LoadLatestSnapshot(filepath.Join(dir, "snap"))
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		if err := mgr.RestoreState(state); err != nil {
+			return nil, fmt.Errorf("persist: restoring root snapshot: %w", err)
+		}
+		s.restored.SnapshotSeq = state.Seq
+	}
+	return s, nil
+}
+
+// AttachSnapshotStore prepares per-seal snapshot writes for a manager
+// whose state is already live — a promoted standby's warm manager,
+// restored by the tailer from the very snapshots this store will keep
+// writing. Unlike OpenSnapshotStore it restores nothing; the
+// report-WAL refusal still applies.
+func AttachSnapshotStore(dir string, mgr *stream.EpochManager, keep int) (*SnapshotStore, error) {
+	return newSnapshotStore(dir, mgr, keep)
+}
+
+// newSnapshotStore validates the directory (no report WAL), creates the
+// snapshot subdirectory, and builds the store without restoring.
+func newSnapshotStore(dir string, mgr *stream.EpochManager, keep int) (*SnapshotStore, error) {
 	if mgr == nil {
 		return nil, errors.New("persist: nil epoch manager")
 	}
@@ -55,22 +84,10 @@ func OpenSnapshotStore(dir string, mgr *stream.EpochManager, keep int) (*Snapsho
 	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
-	snapDir := filepath.Join(dir, "snap")
-	if err := os.MkdirAll(snapDir, 0o755); err != nil {
+	if err := os.MkdirAll(filepath.Join(dir, "snap"), 0o755); err != nil {
 		return nil, err
 	}
-	s := &SnapshotStore{mgr: mgr, dir: dir, keep: keep}
-	_, state, found, err := LoadLatestSnapshot(snapDir)
-	if err != nil {
-		return nil, err
-	}
-	if found {
-		if err := mgr.RestoreState(state); err != nil {
-			return nil, fmt.Errorf("persist: restoring root snapshot: %w", err)
-		}
-		s.restored.SnapshotSeq = state.Seq
-	}
-	return s, nil
+	return &SnapshotStore{mgr: mgr, dir: dir, keep: keep}, nil
 }
 
 // Restored reports what Open reconstructed.

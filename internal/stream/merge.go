@@ -27,16 +27,25 @@ import (
 // order, the merged pipeline is bit-identical to the single-node one on
 // the union of reports; the cluster equivalence e2e pins that.
 //
+// Membership is elastic: Join and Leave change the expected node set at
+// epoch boundaries, never mid-barrier — once the barrier epoch has
+// started accumulating tallies its completeness criterion is fixed, and
+// a change lands at the next boundary instead. The schedule of pending
+// changes is part of the merger's exportable state (Membership /
+// SetMembership) so a root restart or a standby promotion resumes with
+// the same barrier expectations.
+//
 // All methods are safe for concurrent use.
 type SealedMerger struct {
-	mgr      *EpochManager
-	expected []string // sorted unique frontend node ids
+	mgr *EpochManager
 
-	mu      sync.Mutex
-	next    int                   // next epoch index to seal (the barrier)
-	pending map[int]*pendingEpoch // future/current epochs accumulating tallies
-	merged  []MergedEpoch         // accounting for sealed epochs, oldest first
-	dupes   int64                 // deduped submissions ever
+	mu       sync.Mutex
+	expected []string              // sorted unique member ids for the barrier epoch
+	sched    []MemberChange        // future membership changes, epoch ascending
+	next     int                   // next epoch index to seal (the barrier)
+	pending  map[int]*pendingEpoch // future/current epochs accumulating tallies
+	merged   []MergedEpoch         // accounting for sealed epochs, oldest first
+	dupes    int64                 // deduped submissions ever
 }
 
 // pendingEpoch accumulates one epoch's tallies ahead of its barrier.
@@ -46,6 +55,18 @@ type pendingEpoch struct {
 	nodes  map[string]bool
 }
 
+// MemberChange is one scheduled membership change: from epoch Epoch on,
+// Node is (Join) or is no longer (not Join) an expected member of the
+// epoch barrier.
+type MemberChange struct {
+	// Epoch is the first epoch the change applies to.
+	Epoch int
+	// Node is the frontend node id.
+	Node string
+	// Join is true for a join, false for a leave.
+	Join bool
+}
+
 // MergedEpoch is the partial-epoch accounting for one sealed epoch:
 // which expected nodes made it into the merge before the barrier
 // closed, and which were still missing (straggler timeout or forced
@@ -53,7 +74,9 @@ type pendingEpoch struct {
 type MergedEpoch struct {
 	// Epoch is the shared clock index.
 	Epoch int
-	// Nodes are the frontends whose tallies merged, sorted.
+	// Nodes are the frontends whose tallies merged, sorted. A departing
+	// node's final epoch may list it here even though the membership
+	// change already removed it from the expected set.
 	Nodes []string
 	// Missing are the expected frontends absent at seal time, sorted.
 	Missing []string
@@ -62,6 +85,15 @@ type MergedEpoch struct {
 	// Duplicates counts deduped submissions observed for this epoch,
 	// including late re-sends arriving after the seal.
 	Duplicates int
+}
+
+// clone deep-copies the accounting so published values cannot alias the
+// merger's retained state (the detect tracker-slice lesson: accessors
+// publish copies, never internal slices).
+func (m MergedEpoch) clone() MergedEpoch {
+	m.Nodes = slices.Clone(m.Nodes)
+	m.Missing = slices.Clone(m.Missing)
+	return m
 }
 
 // SubmitResult describes what MergeSealed did with a tally.
@@ -93,6 +125,20 @@ func NewSealedMerger(mgr *EpochManager, nodes []string) (*SealedMerger, error) {
 	if mgr == nil {
 		return nil, fmt.Errorf("stream: merger without an epoch manager")
 	}
+	expected, err := normalizeMembers(nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &SealedMerger{
+		mgr:      mgr,
+		expected: expected,
+		next:     mgr.Stats().Epochs,
+		pending:  make(map[int]*pendingEpoch),
+	}, nil
+}
+
+// normalizeMembers sorts, validates, and copies a member set.
+func normalizeMembers(nodes []string) ([]string, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("stream: merger without expected nodes")
 	}
@@ -106,26 +152,238 @@ func NewSealedMerger(mgr *EpochManager, nodes []string) (*SealedMerger, error) {
 			return nil, fmt.Errorf("stream: duplicate node id %q in merger config", n)
 		}
 	}
-	return &SealedMerger{
-		mgr:      mgr,
-		expected: expected,
-		next:     mgr.Stats().Epochs,
-		pending:  make(map[int]*pendingEpoch),
-	}, nil
+	return expected, nil
 }
 
 // Manager returns the epoch manager the merger seals into.
 func (sm *SealedMerger) Manager() *EpochManager { return sm.mgr }
 
-// Nodes returns the expected frontend node ids, sorted.
-func (sm *SealedMerger) Nodes() []string { return slices.Clone(sm.expected) }
+// Nodes returns the expected member ids for the current barrier epoch,
+// sorted. The slice is the caller's.
+func (sm *SealedMerger) Nodes() []string {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return slices.Clone(sm.expected)
+}
+
+// Membership exports the current member set and the schedule of pending
+// changes — the state a root restart or standby promotion needs to
+// resume the barrier with the same expectations. Both slices are
+// copies.
+func (sm *SealedMerger) Membership() (members []string, sched []MemberChange) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return slices.Clone(sm.expected), slices.Clone(sm.sched)
+}
+
+// SetMembership replaces the member set and pending-change schedule,
+// the restore half of Membership. It may only be called while no
+// tallies are pending: membership restore is a boot/promotion-time
+// operation, not a mid-barrier rewrite. Scheduled changes already due
+// at the barrier are applied immediately.
+func (sm *SealedMerger) SetMembership(members []string, sched []MemberChange) error {
+	expected, err := normalizeMembers(members)
+	if err != nil {
+		return err
+	}
+	for _, ev := range sched {
+		if ev.Node == "" {
+			return fmt.Errorf("stream: scheduled membership change without a node id")
+		}
+		if ev.Epoch < 0 {
+			return fmt.Errorf("stream: scheduled membership change at negative epoch %d", ev.Epoch)
+		}
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if len(sm.pending) != 0 {
+		return fmt.Errorf("stream: restoring membership with %d epochs of tallies pending", len(sm.pending))
+	}
+	sm.expected = expected
+	sm.sched = slices.Clone(sched)
+	sort.SliceStable(sm.sched, func(i, j int) bool { return sm.sched[i].Epoch < sm.sched[j].Epoch })
+	sm.applyScheduleLocked()
+	if len(sm.expected) == 0 {
+		return fmt.Errorf("stream: restored membership is empty at the barrier epoch %d", sm.next)
+	}
+	return nil
+}
+
+// memberAtLocked reports whether node is an expected member for epoch:
+// the current set, with every scheduled change through that epoch
+// applied. Callers hold sm.mu.
+func (sm *SealedMerger) memberAtLocked(node string, epoch int) bool {
+	_, member := slices.BinarySearch(sm.expected, node)
+	for _, ev := range sm.sched {
+		if ev.Epoch > epoch {
+			break
+		}
+		if ev.Node == node {
+			member = ev.Join
+		}
+	}
+	return member
+}
+
+// memberFinallyLocked reports whether node is a member once the whole
+// schedule has applied. Callers hold sm.mu.
+func (sm *SealedMerger) memberFinallyLocked(node string) bool {
+	_, member := slices.BinarySearch(sm.expected, node)
+	for _, ev := range sm.sched {
+		if ev.Node == node {
+			member = ev.Join
+		}
+	}
+	return member
+}
+
+// finalMemberCountLocked counts the membership once the whole schedule
+// has applied. Callers hold sm.mu.
+func (sm *SealedMerger) finalMemberCountLocked() int {
+	final := make(map[string]bool, len(sm.expected))
+	for _, n := range sm.expected {
+		final[n] = true
+	}
+	for _, ev := range sm.sched {
+		if ev.Join {
+			final[ev.Node] = true
+		} else {
+			delete(final, ev.Node)
+		}
+	}
+	return len(final)
+}
+
+// scheduleLocked inserts a membership change keeping the schedule
+// epoch-ascending (stable within an epoch: later decisions win).
+// Callers hold sm.mu.
+func (sm *SealedMerger) scheduleLocked(ev MemberChange) {
+	i := sort.Search(len(sm.sched), func(i int) bool { return sm.sched[i].Epoch > ev.Epoch })
+	sm.sched = slices.Insert(sm.sched, i, ev)
+}
+
+// applyScheduleLocked folds every scheduled change due at the barrier
+// into the expected set. Callers hold sm.mu.
+func (sm *SealedMerger) applyScheduleLocked() {
+	for len(sm.sched) > 0 && sm.sched[0].Epoch <= sm.next {
+		ev := sm.sched[0]
+		sm.sched = sm.sched[1:]
+		i, ok := slices.BinarySearch(sm.expected, ev.Node)
+		switch {
+		case ev.Join && !ok:
+			sm.expected = slices.Insert(sm.expected, i, ev.Node)
+		case !ev.Join && ok:
+			sm.expected = slices.Delete(sm.expected, i, i+1)
+		}
+	}
+}
+
+// Join admits a node into the cluster, effective at an epoch boundary:
+// the current barrier epoch if its barrier has not started filling, the
+// next one otherwise — never mid-barrier. It returns the first epoch
+// the node is expected to contribute; the joining frontend fast-forwards
+// its epoch clock there. Re-announcing an existing or already-scheduled
+// member is idempotent and returns the standing effective epoch.
+func (sm *SealedMerger) Join(node string) (int, error) {
+	if node == "" {
+		return 0, fmt.Errorf("stream: join without a node id")
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.memberFinallyLocked(node) {
+		// Already in (or scheduled in): report when that takes effect.
+		effective := sm.next
+		for _, ev := range sm.sched {
+			if ev.Node == node && ev.Join && ev.Epoch > effective {
+				effective = ev.Epoch
+			}
+		}
+		return effective, nil
+	}
+	effective := sm.next
+	if pe := sm.pending[sm.next]; pe != nil && len(pe.nodes) > 0 {
+		// The barrier epoch is already filling; its completeness
+		// criterion is fixed. The join lands at the next boundary.
+		effective = sm.next + 1
+	}
+	if effective == sm.next {
+		i, ok := slices.BinarySearch(sm.expected, node)
+		if !ok {
+			sm.expected = slices.Insert(sm.expected, i, node)
+		}
+	} else {
+		sm.scheduleLocked(MemberChange{Epoch: effective, Node: node, Join: true})
+	}
+	return effective, nil
+}
+
+// Leave retires a node from the cluster: from the effective epoch on,
+// the barrier no longer waits for it. from is the first epoch the node
+// will not contribute (its last sealed epoch + 1); the merger clamps it
+// forward past the barrier and past any epoch the node has already
+// delivered a pending tally for, so a departing node's final partial
+// epoch still seals with its data and the ordinary merged/missing
+// accounting. ready reports whether the removal completed the current
+// barrier (the departing node was the last straggler) — the caller
+// should then drive TrySeal. Removing the last member is refused, and
+// a leave for a node that was never a member is an error; repeating a
+// leave is idempotent.
+func (sm *SealedMerger) Leave(node string, from int) (effective int, ready bool, err error) {
+	if node == "" {
+		return 0, false, fmt.Errorf("stream: leave without a node id")
+	}
+	if from < 0 {
+		return 0, false, fmt.Errorf("stream: leave effective at negative epoch %d", from)
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if !sm.memberFinallyLocked(node) {
+		_, current := slices.BinarySearch(sm.expected, node)
+		if !current {
+			// Never a member (or already fully left): idempotent when a
+			// leave is on record, an error for a stranger.
+			for _, ev := range sm.sched {
+				if ev.Node == node && !ev.Join {
+					return ev.Epoch, false, nil
+				}
+			}
+			return 0, false, fmt.Errorf("stream: leave from %q, which is not a cluster member", node)
+		}
+	}
+	effective = max(from, sm.next)
+	// Never retire epochs the node has already contributed to: a tally
+	// sitting at (or past) the barrier merges under the old membership.
+	for e, pe := range sm.pending {
+		if pe.nodes[node] && e >= effective {
+			effective = e + 1
+		}
+	}
+	if sm.finalMemberCountLocked() <= 1 {
+		return 0, false, fmt.Errorf("stream: cannot remove %q, the last cluster member", node)
+	}
+	// A pending join at or after the effective epoch is void now.
+	sm.sched = slices.DeleteFunc(sm.sched, func(ev MemberChange) bool {
+		return ev.Node == node && ev.Epoch >= effective
+	})
+	if effective == sm.next {
+		i, ok := slices.BinarySearch(sm.expected, node)
+		if ok {
+			sm.expected = slices.Delete(sm.expected, i, i+1)
+		}
+		return effective, sm.barrierCompleteLocked(), nil
+	}
+	sm.scheduleLocked(MemberChange{Epoch: effective, Node: node, Join: false})
+	return effective, false, nil
+}
 
 // MergeSealed is the root's ingest path: it folds one frontend's sealed
 // tally into the pending epoch it belongs to. Duplicates — by (node,
 // epoch), or for an epoch already sealed — are no-ops reported in the
 // result, never errors, because at-least-once delivery makes them part
-// of normal operation. Unknown nodes, domain mismatches, and epochs
-// absurdly far past the barrier are errors.
+// of normal operation (including a former member's re-sends for epochs
+// that sealed before it left). Tallies from nodes that are not members
+// for the tally's epoch, domain mismatches, and epochs absurdly far
+// past the barrier are errors.
 func (sm *SealedMerger) MergeSealed(t *ldp.Tally) (SubmitResult, error) {
 	if t == nil {
 		return SubmitResult{}, fmt.Errorf("stream: merging a nil tally")
@@ -137,16 +395,15 @@ func (sm *SealedMerger) MergeSealed(t *ldp.Tally) (SubmitResult, error) {
 		return SubmitResult{}, fmt.Errorf("stream: tally from %q has domain %d, root serves %d",
 			t.NodeID, len(t.Counts), d)
 	}
-	if _, ok := slices.BinarySearch(sm.expected, t.NodeID); !ok {
-		return SubmitResult{}, fmt.Errorf("stream: tally from unexpected node %q", t.NodeID)
-	}
 
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
 	res := SubmitResult{SealedThrough: sm.next}
 	if t.Epoch < sm.next {
 		// The epoch sealed without (or with) this tally; either way the
-		// barrier has moved on and the re-send changes nothing.
+		// barrier has moved on and the re-send changes nothing. This
+		// holds for former members too — their retained-ring re-sends
+		// must stay harmless after they leave.
 		sm.noteDuplicateLocked(t.Epoch)
 		res.Duplicate = true
 		return res, nil
@@ -166,6 +423,10 @@ func (sm *SealedMerger) MergeSealed(t *ldp.Tally) (SubmitResult, error) {
 	if t.Epoch >= sm.next+maxEpochLead {
 		return res, fmt.Errorf("stream: tally from %q for epoch %d is %d epochs past the merge barrier %d",
 			t.NodeID, t.Epoch, t.Epoch-sm.next, sm.next)
+	}
+	if !sm.memberAtLocked(t.NodeID, t.Epoch) {
+		return res, fmt.Errorf("stream: tally from %q, which is not a cluster member at epoch %d",
+			t.NodeID, t.Epoch)
 	}
 	pe := sm.pending[t.Epoch]
 	if pe == nil {
@@ -198,11 +459,20 @@ func (sm *SealedMerger) noteDuplicateLocked(epoch int) {
 	}
 }
 
-// barrierCompleteLocked reports whether the next-to-seal epoch holds
-// every expected node's tally.
+// barrierCompleteLocked reports whether the next-to-seal epoch holds a
+// tally from every expected member. Tallies from departing nodes whose
+// removal already applied are extra, not blocking.
 func (sm *SealedMerger) barrierCompleteLocked() bool {
 	pe := sm.pending[sm.next]
-	return pe != nil && len(pe.nodes) == len(sm.expected)
+	if pe == nil {
+		return false
+	}
+	for _, n := range sm.expected {
+		if !pe.nodes[n] {
+			return false
+		}
+	}
+	return true
 }
 
 // TrySeal seals the next epoch into the manager iff its barrier is
@@ -232,7 +502,10 @@ func (sm *SealedMerger) SealPartial() (*WindowEstimate, *MergedEpoch, error) {
 }
 
 // sealNextLocked folds the pending epoch at the barrier into the
-// manager and seals it. Callers hold sm.mu.
+// manager and seals it, then advances the barrier and applies any
+// membership change scheduled for the new epoch. Callers hold sm.mu.
+// The returned accounting is a copy that cannot alias later mutation of
+// the retained state.
 func (sm *SealedMerger) sealNextLocked() (*WindowEstimate, *MergedEpoch, error) {
 	info := MergedEpoch{Epoch: sm.next}
 	if pe := sm.pending[sm.next]; pe != nil {
@@ -256,7 +529,8 @@ func (sm *SealedMerger) sealNextLocked() (*WindowEstimate, *MergedEpoch, error) 
 		return nil, nil, err
 	}
 	sm.next++
-	sm.merged = append(sm.merged, info)
+	sm.applyScheduleLocked()
+	sm.merged = append(sm.merged, info.clone())
 	if keep := sm.mgr.Config().History; len(sm.merged) > keep {
 		sm.merged = sm.merged[len(sm.merged)-keep:]
 	}
@@ -281,7 +555,8 @@ func (sm *SealedMerger) SealedThrough() int {
 }
 
 // PendingNodes returns which expected nodes have (true) and have not
-// (false) delivered their tally for the epoch at the barrier.
+// (false) delivered their tally for the epoch at the barrier. The map
+// is the caller's.
 func (sm *SealedMerger) PendingNodes() map[string]bool {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
@@ -294,13 +569,13 @@ func (sm *SealedMerger) PendingNodes() map[string]bool {
 }
 
 // Merged returns the retained per-epoch merge accounting, oldest first.
+// Every entry is a copy that cannot alias later mutation.
 func (sm *SealedMerger) Merged() []MergedEpoch {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
 	out := make([]MergedEpoch, len(sm.merged))
 	for i, m := range sm.merged {
-		out[i] = MergedEpoch{Epoch: m.Epoch, Total: m.Total, Duplicates: m.Duplicates,
-			Nodes: slices.Clone(m.Nodes), Missing: slices.Clone(m.Missing)}
+		out[i] = m.clone()
 	}
 	return out
 }

@@ -33,6 +33,8 @@
 package ldprecover
 
 import (
+	"time"
+
 	"ldprecover/internal/attack"
 	"ldprecover/internal/core"
 	"ldprecover/internal/dataset"
@@ -287,6 +289,84 @@ func NewSealedMerger(mgr *EpochManager, nodes []string) (*SealedMerger, error) {
 // WAL.
 func OpenSnapshotStore(dir string, mgr *EpochManager, keep int) (*SnapshotStore, error) {
 	return persist.OpenSnapshotStore(dir, mgr, keep)
+}
+
+// Elastic membership and root failover (DESIGN.md §7): frontends join
+// and leave a running cluster via CRC-framed announcements that take
+// effect only at epoch boundaries, the root journals every membership
+// change and seal into a tiny seal-log beside its snapshots, and a
+// standby node tails both to hold a warm merger it can promote when the
+// root's lease goes stale — with the frontends' at-least-once re-send
+// making the switch lose or double-merge nothing.
+type (
+	// Announce is a join/leave membership announcement frame.
+	Announce = ldp.Announce
+	// AnnounceKind distinguishes joins from leaves.
+	AnnounceKind = ldp.AnnounceKind
+	// MemberChange is one scheduled membership change at an epoch
+	// boundary.
+	MemberChange = stream.MemberChange
+	// SealLog is the root's append-only seal/membership journal.
+	SealLog = persist.SealLog
+	// SealRecord is one seal-log entry.
+	SealRecord = persist.SealRecord
+	// Lease is the root data directory's split-brain guard.
+	Lease = persist.Lease
+	// LeaseInfo describes a lease file's owner and age.
+	LeaseInfo = persist.LeaseInfo
+	// StandbyTailer keeps a warm copy of the root's merged state.
+	StandbyTailer = persist.StandbyTailer
+)
+
+// Announce kinds.
+const (
+	AnnounceJoin  = ldp.AnnounceJoin
+	AnnounceLeave = ldp.AnnounceLeave
+)
+
+// Seal-log record kinds.
+const (
+	SealRecordSeal   = persist.SealRecordSeal
+	SealRecordMember = persist.SealRecordMember
+)
+
+// MarshalAnnounce frames a membership announcement for the wire.
+func MarshalAnnounce(a *Announce) ([]byte, error) { return ldp.MarshalAnnounce(a) }
+
+// UnmarshalAnnounce parses and checksums a wire-format announcement.
+func UnmarshalAnnounce(data []byte) (*Announce, error) { return ldp.UnmarshalAnnounce(data) }
+
+// OpenSealLog opens (creating if absent) dir's seal-log, truncating any
+// torn tail from a crash mid-append.
+func OpenSealLog(dir string) (*SealLog, error) { return persist.OpenSealLog(dir) }
+
+// ReadSealLogMembership scans dir's seal-log read-only and returns the
+// last record's membership state.
+func ReadSealLogMembership(dir string) (members []string, sched []MemberChange, ok bool, err error) {
+	return persist.ReadSealLogMembership(dir)
+}
+
+// AcquireLease takes dir's root lease for owner, refusing while another
+// owner's lease is fresher than staleAfter.
+func AcquireLease(dir, owner string, staleAfter time.Duration) (*Lease, error) {
+	return persist.AcquireLease(dir, owner, staleAfter)
+}
+
+// InspectLease reads dir's lease without taking it.
+func InspectLease(dir string) (LeaseInfo, error) { return persist.InspectLease(dir) }
+
+// NewStandbyTailer tails a root data directory, keeping a warm restored
+// manager ready for promotion. newMgr builds an empty manager with the
+// root's stream config.
+func NewStandbyTailer(dir string, newMgr func() (*EpochManager, error)) (*StandbyTailer, error) {
+	return persist.NewStandbyTailer(dir, newMgr)
+}
+
+// AttachSnapshotStore prepares per-seal snapshots for a manager whose
+// state is already live (a promoted standby's warm manager); unlike
+// OpenSnapshotStore it does not restore anything into it.
+func AttachSnapshotStore(dir string, mgr *EpochManager, keep int) (*SnapshotStore, error) {
+	return persist.AttachSnapshotStore(dir, mgr, keep)
 }
 
 // NewTargetTracker returns a tracker that promotes or demotes a target
