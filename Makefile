@@ -6,7 +6,7 @@ GO ?= go
 # `FUZZTIME=10m make fuzz` away.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench-smoke bench-json vet fuzz ci
+.PHONY: all build test race bench-smoke bench-json bench-ingest vet fuzz ci
 
 all: build test
 
@@ -40,6 +40,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalReport$$'      -fuzztime $(FUZZTIME) ./internal/ldp
 	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalReportBatch$$' -fuzztime $(FUZZTIME) ./internal/ldp
 	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalTally$$'       -fuzztime $(FUZZTIME) ./internal/ldp
+	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalPartial$$'     -fuzztime $(FUZZTIME) ./internal/ldp
+	$(GO) test -run '^$$' -fuzz 'FuzzReportBatchFrame$$'     -fuzztime $(FUZZTIME) ./internal/ldp
 	$(GO) test -run '^$$' -fuzz 'FuzzUnmarshalAnnounce$$'    -fuzztime $(FUZZTIME) ./internal/ldp
 	$(GO) test -run '^$$' -fuzz 'FuzzWALOpen$$'              -fuzztime $(FUZZTIME) ./internal/persist
 
@@ -58,6 +60,20 @@ bench-json:
 	cat BENCH_output.tmp
 	$(GO) run ./cmd/benchjson -o BENCH_report.json BENCH_output.tmp
 	rm -f BENCH_output.tmp
+
+# Tally-first ingest micro-suite: re-baselines the durable ingest lanes
+# (report-level decode, zero-copy frame, partial-tally) plus the raw WAL
+# append at a real benchtime, folds the rows into BENCH_report.json in
+# place, and gates the run: the partial-tally lane must move at least 5x
+# the MB/s of the report lane, or the target (and CI) fails.
+bench-ingest:
+	$(GO) test -run '^$$' -bench 'BenchmarkDurableIngest|BenchmarkWALAppend' -benchtime 300ms . > BENCH_ingest.tmp
+	cat BENCH_ingest.tmp
+	$(GO) run ./cmd/benchjson -merge BENCH_report.json -o BENCH_report.json \
+		-gate-num 'BenchmarkDurableIngest/partial-tally' \
+		-gate-den 'BenchmarkDurableIngest/report-level' \
+		-gate-min 5 BENCH_ingest.tmp
+	rm -f BENCH_ingest.tmp
 
 vet:
 	$(GO) vet ./...

@@ -681,6 +681,20 @@ func BenchmarkWALAppend(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer w.Close()
+			// Warm up before the clock starts: the first append pays
+			// one-off costs (segment file creation, dirty-page and
+			// allocator warm-up) that dwarf a steady-state append, so an
+			// unwarmed run under a small -benchtime measures setup, not
+			// appends — it once reported the never-fsyncing policy
+			// *slower* than fsync-every-batch.
+			for i := 0; i < 8; i++ {
+				if _, err := w.Append(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := w.Sync(); err != nil {
+				b.Fatal(err)
+			}
 			b.SetBytes(int64(len(frame)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -689,6 +703,136 @@ func BenchmarkWALAppend(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkDurableIngest measures report-equivalent durable ingest
+// throughput — MB/s of report-level wire bytes made durable AND counted
+// — for the three ingest lanes at equal user volume (4096 users per
+// op, as sixteen 256-report OUE frames):
+//
+//	report-level   decode each frame into []Report, then AppendBatch
+//	               (frame to the WAL, reports to the accumulator)
+//	zero-copy      AppendBatchFrame validates, logs and counts the wire
+//	               bytes in place; no []Report ever exists
+//	partial-tally  the same 4096 users pre-aggregated at an edge
+//	               Collector into ONE partial-tally frame (DESIGN.md §8)
+//
+// Every lane reports SetBytes of the report lanes' total frame bytes,
+// so the MB/s column answers "how fast does this lane move the same
+// users durably" — the partial lane's frame is ~250x smaller, which is
+// the point. The WAL syncs lazily (at epoch seals), so the comparison
+// is CPU + write volume, not sixteen fsyncs against one; `make
+// bench-ingest` regenerates these rows in BENCH_report.json and CI
+// gates on partial-tally ≥ 5x report-level.
+func BenchmarkDurableIngest(b *testing.B) {
+	const d, eps = 128, 0.5
+	const perFrame, numFrames = 256, 16
+	proto, err := ldprecover.NewOUE(d, eps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := ldprecover.NewRand(7)
+	trueCounts := make([]int64, d)
+	for v := range trueCounts {
+		trueCounts[v] = perFrame / d
+	}
+	var frames [][]byte
+	var decoded [][]ldprecover.Report
+	var wireBytes int64
+	col, err := ldp.NewCollector("bench-edge", d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < numFrames; i++ {
+		reps, err := ldprecover.PerturbAll(proto, r, trueCounts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame, err := ldprecover.MarshalReportBatch(reps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, frame)
+		decoded = append(decoded, reps)
+		wireBytes += int64(len(frame))
+		if err := col.AddBatch(reps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pframe, err := col.Flush(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	partial, err := ldprecover.UnmarshalPartial(pframe)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	newStore := func(b *testing.B) *ldprecover.DurableStore {
+		b.Helper()
+		mgr, err := ldprecover.NewEpochManager(ldprecover.StreamConfig{
+			Params: proto.Params(), TargetK: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		store, err := ldprecover.OpenDurableStore(b.TempDir(), mgr,
+			ldprecover.DurableOptions{SyncEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { store.Close() })
+		return store
+	}
+
+	b.Run("report-level", func(b *testing.B) {
+		store := newStore(b)
+		b.SetBytes(wireBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, frame := range frames {
+				// The lane includes the decode — that is what the
+				// pre-zero-copy serve path paid per request.
+				reps, err := ldprecover.UnmarshalReportBatch(frame)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := store.AppendBatch(frame, reps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("zero-copy", func(b *testing.B) {
+		store := newStore(b)
+		b.SetBytes(wireBytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, frame := range frames {
+				if err := store.AppendBatchFrame(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("partial-tally", func(b *testing.B) {
+		store := newStore(b)
+		b.SetBytes(wireBytes) // report-equivalent: the same users moved
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := store.AppendPartial(pframe, partial); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Sanity outside the timed regions: all three lanes must count the
+	// same users per op (the equivalence the tests pin bit-for-bit).
+	if got, want := partial.Users, int64(numFrames*len(decoded[0])); got != want {
+		b.Fatalf("partial covers %d users, lanes move %d", got, want)
 	}
 }
 

@@ -9,6 +9,18 @@
 //
 // Reading stdin and writing stdout are the defaults; non-benchmark lines
 // (test summaries, package headers) pass through unparsed.
+//
+// -merge folds the freshly parsed results into an existing report
+// instead of starting from scratch: benchmarks sharing a name are
+// replaced in place, new ones append. `make bench-ingest` uses it to
+// re-baseline just the ingest rows of BENCH_report.json at a longer
+// benchtime without re-running the full figure suite.
+//
+// -gate-num/-gate-den/-gate-min assert a throughput ratio between two
+// benchmarks in the final report: the run fails (exit 1) unless the
+// numerator's MB/s is at least min times the denominator's. CI gates
+// the tally-first ingest lanes with it — the partial-tally lane must
+// stay ≥5x the report lane.
 package main
 
 import (
@@ -112,21 +124,107 @@ func parse(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
-func run(in io.Reader, out io.Writer) error {
-	rep, err := parse(in)
+// mergeInto folds fresh results into base: same-name benchmarks are
+// replaced in place (preserving the report's ordering), new ones
+// append. Environment fields follow the fresh run when it reported
+// them.
+func mergeInto(base, fresh *Report) *Report {
+	idx := make(map[string]int, len(base.Benchmarks))
+	for i, b := range base.Benchmarks {
+		idx[b.Name] = i
+	}
+	for _, b := range fresh.Benchmarks {
+		if i, ok := idx[b.Name]; ok {
+			base.Benchmarks[i] = b
+		} else {
+			idx[b.Name] = len(base.Benchmarks)
+			base.Benchmarks = append(base.Benchmarks, b)
+		}
+	}
+	if fresh.GOOS != "" {
+		base.GOOS = fresh.GOOS
+	}
+	if fresh.GOARCH != "" {
+		base.GOARCH = fresh.GOARCH
+	}
+	if fresh.CPU != "" {
+		base.CPU = fresh.CPU
+	}
+	for _, p := range fresh.Packages {
+		found := false
+		for _, q := range base.Packages {
+			if p == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			base.Packages = append(base.Packages, p)
+		}
+	}
+	return base
+}
+
+// findBench resolves name in the report, tolerating Go's -GOMAXPROCS
+// suffix (BenchmarkX/lane vs BenchmarkX/lane-8).
+func findBench(rep *Report, name string) (Benchmark, error) {
+	for _, b := range rep.Benchmarks {
+		if b.Name == name || strings.HasPrefix(b.Name, name+"-") {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("benchmark %q not in report", name)
+}
+
+// checkGate enforces MB/s(num) >= min * MB/s(den).
+func checkGate(rep *Report, num, den string, min float64) error {
+	nb, err := findBench(rep, num)
 	if err != nil {
 		return err
 	}
+	db, err := findBench(rep, den)
+	if err != nil {
+		return err
+	}
+	nv, ok := nb.Metrics["MB/s"]
+	if !ok {
+		return fmt.Errorf("benchmark %q reports no MB/s (missing b.SetBytes?)", nb.Name)
+	}
+	dv, ok := db.Metrics["MB/s"]
+	if !ok {
+		return fmt.Errorf("benchmark %q reports no MB/s (missing b.SetBytes?)", db.Name)
+	}
+	if dv <= 0 || nv < min*dv {
+		return fmt.Errorf("gate failed: %s at %.2f MB/s is %.2fx %s (%.2f MB/s), need >= %.1fx",
+			nb.Name, nv, nv/dv, db.Name, dv, min)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate ok: %s at %.2f MB/s is %.2fx %s (%.2f MB/s, need >= %.1fx)\n",
+		nb.Name, nv, nv/dv, db.Name, dv, min)
+	return nil
+}
+
+func run(in io.Reader, out io.Writer, base *Report) (*Report, error) {
+	rep, err := parse(in)
+	if err != nil {
+		return nil, err
+	}
 	if len(rep.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark lines found in input")
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	if base != nil {
+		rep = mergeInto(base, rep)
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return rep, enc.Encode(rep)
 }
 
 func main() {
 	outPath := flag.String("o", "", "output file (default stdout)")
+	mergePath := flag.String("merge", "", "existing report to fold results into (may equal -o)")
+	gateNum := flag.String("gate-num", "", "gate numerator benchmark name")
+	gateDen := flag.String("gate-den", "", "gate denominator benchmark name")
+	gateMin := flag.Float64("gate-min", 0, "minimum MB/s ratio numerator/denominator")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -139,8 +237,23 @@ func main() {
 		defer f.Close()
 		in = f
 	} else if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [bench-output.txt]")
+		fmt.Fprintln(os.Stderr, "usage: benchjson [-o out.json] [-merge base.json] [bench-output.txt]")
 		os.Exit(2)
+	}
+
+	// Load the merge base before -o possibly truncates the same file.
+	var base *Report
+	if *mergePath != "" {
+		data, err := os.ReadFile(*mergePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		base = &Report{}
+		if err := json.Unmarshal(data, base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *mergePath, err)
+			os.Exit(1)
+		}
 	}
 
 	var out io.Writer = os.Stdout
@@ -154,8 +267,19 @@ func main() {
 		out = f
 	}
 
-	if err := run(in, out); err != nil {
+	rep, err := run(in, out, base)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *gateNum != "" || *gateDen != "" {
+		if *gateNum == "" || *gateDen == "" || *gateMin <= 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate-num, -gate-den and -gate-min must be set together")
+			os.Exit(2)
+		}
+		if err := checkGate(rep, *gateNum, *gateDen, *gateMin); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
 }

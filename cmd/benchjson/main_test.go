@@ -59,7 +59,7 @@ func TestParseIgnoresGarbage(t *testing.T) {
 
 func TestRunEmitsValidJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sample), &out); err != nil {
+	if _, err := run(strings.NewReader(sample), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -73,7 +73,56 @@ func TestRunEmitsValidJSON(t *testing.T) {
 
 func TestRunRejectsEmpty(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("nothing here\n"), &out); err == nil {
+	if _, err := run(strings.NewReader("nothing here\n"), &out, nil); err == nil {
 		t.Fatal("empty input accepted")
+	}
+}
+
+// TestRunMerge: a fresh ingest-only run replaces its rows in the base
+// report in place, keeps unrelated rows, and appends new names.
+func TestRunMerge(t *testing.T) {
+	base := &Report{
+		GOOS: "linux",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkPerturbOUE-8", Runs: 1, NsPerOp: 99},
+			{Name: "BenchmarkStale/only-in-base", Runs: 1, NsPerOp: 42},
+		},
+	}
+	var out bytes.Buffer
+	rep, err := run(strings.NewReader(sample), &out, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 base rows, one replaced in place + 3 new names from the sample.
+	if len(rep.Benchmarks) != 5 {
+		t.Fatalf("merged %d benchmarks, want 5: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	if rep.Benchmarks[0].Name != "BenchmarkPerturbOUE-8" || rep.Benchmarks[0].NsPerOp != 1690 {
+		t.Fatalf("same-name row not replaced in place: %+v", rep.Benchmarks[0])
+	}
+	if rep.Benchmarks[1].Name != "BenchmarkStale/only-in-base" || rep.Benchmarks[1].NsPerOp != 42 {
+		t.Fatalf("base-only row lost in merge: %+v", rep.Benchmarks[1])
+	}
+}
+
+// TestCheckGate: the MB/s ratio gate passes, fails, and tolerates the
+// -GOMAXPROCS suffix on report names.
+func TestCheckGate(t *testing.T) {
+	rep := &Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkDurableIngest/report-level-8", NsPerOp: 1, Metrics: map[string]float64{"MB/s": 10}},
+		{Name: "BenchmarkDurableIngest/partial-tally-8", NsPerOp: 1, Metrics: map[string]float64{"MB/s": 120}},
+		{Name: "BenchmarkDurableIngest/no-bytes"},
+	}}
+	if err := checkGate(rep, "BenchmarkDurableIngest/partial-tally", "BenchmarkDurableIngest/report-level", 5); err != nil {
+		t.Fatalf("12x ratio failed a 5x gate: %v", err)
+	}
+	if err := checkGate(rep, "BenchmarkDurableIngest/partial-tally", "BenchmarkDurableIngest/report-level", 50); err == nil {
+		t.Fatal("12x ratio passed a 50x gate")
+	}
+	if err := checkGate(rep, "BenchmarkDurableIngest/no-bytes", "BenchmarkDurableIngest/report-level", 1); err == nil {
+		t.Fatal("missing MB/s metric passed the gate")
+	}
+	if err := checkGate(rep, "BenchmarkDurableIngest/missing", "BenchmarkDurableIngest/report-level", 1); err == nil {
+		t.Fatal("unknown benchmark passed the gate")
 	}
 }

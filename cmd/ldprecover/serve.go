@@ -31,6 +31,10 @@ import (
 //
 //	POST /v1/reports   body = MarshalReportBatch frame; enqueued for
 //	                   ingest. 202 on accept, 429 when the queue is full.
+//	POST /v1/partial   body = MarshalPartial frame: an edge collector's
+//	                   pre-aggregated partial tally (DESIGN.md §8),
+//	                   folded synchronously. 202 on accept, 409 when
+//	                   the epoch hint is behind the sealed watermark.
 //	POST /v1/seal      close the current epoch now; returns the window
 //	                   estimate (also what the -epoch ticker calls).
 //	GET  /v1/estimate  latest sealed window estimate; ?window=k merges
@@ -147,8 +151,9 @@ func runServe(args []string) error {
 	}
 	if srv.store != nil {
 		ri := srv.store.Restored()
-		fmt.Printf("durable state in %s: restored %d sealed epochs, replayed %d batches / %d reports\n",
-			*dataDir, ri.SnapshotSeq, ri.ReplayedBatches, ri.ReplayedReports)
+		fmt.Printf("durable state in %s: restored %d sealed epochs, replayed %d batches / %d reports, %d partials / %d users\n",
+			*dataDir, ri.SnapshotSeq, ri.ReplayedBatches, ri.ReplayedReports,
+			ri.ReplayedPartials, ri.ReplayedPartialUsers)
 	}
 	if srv.root != nil && srv.root.snaps != nil {
 		fmt.Printf("root state in %s: restored %d merged epochs\n",
@@ -433,12 +438,17 @@ type streamServerConfig struct {
 	StandbyPoll time.Duration
 }
 
-// ingestBatch is one queued POST /v1/reports body: the decoded reports
-// plus the wire frame they came from, which durable mode appends to the
-// WAL verbatim instead of re-marshaling.
+// ingestBatch is one queued POST /v1/reports body. The zero-copy lane
+// (the HTTP handlers) fills only frame: a validated wire frame held in
+// a pooled buffer, which the worker folds in place — durable mode
+// appends it to the WAL verbatim, counting never materializes a
+// []Report — and returns to the pool. reps is the decoded-report lane
+// kept for callers that already hold reports (tests, internal feeds);
+// when set it wins and frame is only the optional WAL image.
 type ingestBatch struct {
-	frame []byte
-	reps  []ldprecover.Report
+	frame  []byte
+	reps   []ldprecover.Report
+	pooled bool // frame came from the server's buffer pool
 }
 
 // streamServer owns the manager, the bounded ingest queue and its
@@ -489,6 +499,51 @@ type streamServer struct {
 
 	accepted atomic.Int64 // batches accepted into the queue
 	rejected atomic.Int64 // batches turned away with 429
+
+	// partial-tally lane counters (POST /v1/partial).
+	partialsAccepted atomic.Int64
+	partialsStale    atomic.Int64 // rejected with 409 ErrStalePartial
+
+	// bufPool recycles request-body buffers between /v1/reports
+	// handlers and the ingest workers that release them after the fold.
+	// poolGets counts handler checkouts, poolMisses the checkouts the
+	// pool had to allocate for; hits = gets - misses.
+	bufPool    sync.Pool
+	poolGets   atomic.Int64
+	poolMisses atomic.Int64
+}
+
+// getBuf checks an empty body buffer out of the pool.
+func (s *streamServer) getBuf() []byte {
+	s.poolGets.Add(1)
+	return *(s.bufPool.Get().(*[]byte))
+}
+
+// putBuf returns a body buffer (however grown) to the pool. MaxBytes
+// bounds every buffer's capacity at maxBody, so retention is bounded by
+// pool size, not by the largest request ever seen times the queue.
+func (s *streamServer) putBuf(b []byte) {
+	b = b[:0]
+	s.bufPool.Put(&b)
+}
+
+// readAllInto reads r to EOF into buf, growing it as needed, and
+// returns the filled slice — io.ReadAll against pooled capacity.
+func readAllInto(buf []byte, r io.Reader) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
@@ -534,6 +589,11 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 		maxBody:     cfg.MaxBody,
 		fatalc:      make(chan error, 1),
 		sealOnDrain: cfg.Role != roleRoot && cfg.Role != roleStandby,
+	}
+	s.bufPool.New = func() any {
+		s.poolMisses.Add(1)
+		b := make([]byte, 0, 64<<10)
+		return &b
 	}
 	switch {
 	case cfg.Role == roleRoot:
@@ -697,13 +757,18 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 		go func() {
 			defer s.wg.Done()
 			for b := range s.queue {
-				// AddBatch only fails on nil reports, which the decoder
-				// cannot produce, and a WAL append fails only when the
+				// The fold only fails on inputs the handler's validation
+				// cannot admit, and a WAL append fails only when the
 				// log can no longer be written — either way the server
 				// cannot keep its promises, so crash rather than drop
 				// reports silently.
 				if err := s.ingest(b); err != nil {
 					panic(err)
+				}
+				if b.pooled {
+					// Neither the WAL nor the counting fold retains the
+					// frame, so the buffer can serve the next request.
+					s.putBuf(b.frame)
 				}
 			}
 		}()
@@ -712,18 +777,27 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 }
 
 // ingest folds one dequeued batch — through the WAL first in durable
-// mode, so a batch is never aggregated without being logged.
+// mode, so a batch is never aggregated without being logged. A
+// frame-only batch takes the zero-copy lane: the wire bytes are
+// appended verbatim and counted in place, no []Report ever exists.
 func (s *streamServer) ingest(b ingestBatch) error {
-	if s.store != nil {
-		return s.store.AppendBatch(b.frame, b.reps)
+	if b.reps != nil {
+		if s.store != nil {
+			return s.store.AppendBatch(b.frame, b.reps)
+		}
+		return s.mgr.AddBatch(b.reps)
 	}
-	return s.mgr.AddBatch(b.reps)
+	if s.store != nil {
+		return s.store.AppendBatchFrame(b.frame)
+	}
+	return s.mgr.AddBatchFrame(b.frame)
 }
 
 // handler routes the versioned API.
 func (s *streamServer) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/reports", s.handleReports)
+	mux.HandleFunc("/v1/partial", s.handlePartial)
 	mux.HandleFunc("/v1/tally", s.handleTally)
 	mux.HandleFunc("/v1/membership", s.handleMembership)
 	mux.HandleFunc("/v1/seal", s.handleSeal)
@@ -854,6 +928,74 @@ func (s *streamServer) handleReports(w http.ResponseWriter, r *http.Request) {
 			"this node merges sealed tallies (/v1/tally), it does not ingest report batches; POST them to a frontend")
 		return
 	}
+	// The zero-copy lane: the body lands in a pooled buffer, is
+	// structurally validated (never decoded into reports), and travels
+	// through the queue, the WAL and the counting fold as those same
+	// bytes; the worker returns the buffer to the pool after the fold.
+	buf := s.getBuf()
+	body, err := readAllInto(buf, http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		s.putBuf(body)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	count, err := ldprecover.ValidateReportBatchFrame(body)
+	if err != nil {
+		s.putBuf(body)
+		httpError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	if count == 0 {
+		s.putBuf(body)
+		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: 0, QueueDepth: len(s.queue)})
+		return
+	}
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		s.putBuf(body)
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	select {
+	case s.queue <- ingestBatch{frame: body, pooled: true}:
+		s.drainMu.RUnlock()
+		s.accepted.Add(1)
+		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: count, QueueDepth: len(s.queue)})
+	default:
+		s.drainMu.RUnlock()
+		s.putBuf(body)
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "ingest queue full")
+	}
+}
+
+// partialResponse acknowledges an accepted partial tally.
+type partialResponse struct {
+	// Users is how many users' reports the partial pre-aggregated.
+	Users int64 `json:"users"`
+	// EpochHint echoes the frame's hint; the fold landed in the
+	// currently open epoch regardless (the hint is advisory, DESIGN.md
+	// §8), this is for collector-side logging.
+	EpochHint int `json:"epoch_hint"`
+}
+
+func (s *streamServer) handlePartial(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a partial tally")
+		return
+	}
+	if s.root != nil || s.standby != nil {
+		httpError(w, http.StatusConflict,
+			"this node merges sealed tallies (/v1/tally), it does not ingest partial tallies; POST them to a frontend")
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -864,38 +1006,46 @@ func (s *streamServer) handleReports(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
-	reps, err := ldprecover.UnmarshalReportBatch(body)
+	p, err := ldprecover.UnmarshalPartial(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		httpError(w, http.StatusBadRequest, "decoding partial tally: %v", err)
 		return
 	}
-	if len(reps) == 0 {
-		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: 0, QueueDepth: len(s.queue)})
+	if d := s.mgr.Config().Params.Domain; len(p.Counts) != d {
+		httpError(w, http.StatusBadRequest, "partial tally over domain %d, server domain is %d", len(p.Counts), d)
 		return
 	}
+	// Folded synchronously, not queued: partials are rare (one frame
+	// summarizes thousands of users) and the staleness verdict must be
+	// in this response — the collector discards its local aggregate on
+	// 202 and re-aggregates on 409, so a late answer is a wrong answer.
 	s.drainMu.RLock()
 	if s.draining {
 		s.drainMu.RUnlock()
 		httpError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	b := ingestBatch{reps: reps}
 	if s.store != nil {
-		// Only durable mode needs the wire bytes (the WAL appends them
-		// verbatim); holding them in the queue otherwise retains up to
-		// maxBody per slot for nothing.
-		b.frame = body
+		err = s.store.AppendPartial(body, p)
+	} else {
+		err = s.mgr.AddPartial(p)
 	}
-	select {
-	case s.queue <- b:
-		s.drainMu.RUnlock()
-		s.accepted.Add(1)
-		writeJSON(w, http.StatusAccepted, ingestResponse{Accepted: len(reps), QueueDepth: len(s.queue)})
+	s.drainMu.RUnlock()
+	switch {
+	case err == nil:
+		s.partialsAccepted.Add(1)
+		writeJSON(w, http.StatusAccepted, partialResponse{Users: p.Users, EpochHint: p.EpochHint})
+	case errors.Is(err, ldprecover.ErrStalePartial):
+		// The sealed-boundary taxonomy of /v1/tally: an ordinary
+		// client-visible conflict, not broken durability.
+		s.partialsStale.Add(1)
+		httpError(w, http.StatusConflict, "folding partial tally: %v", err)
 	default:
-		s.drainMu.RUnlock()
-		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "ingest queue full")
+		// Everything client-shaped was validated above; what remains is
+		// a WAL that can no longer be written — as fatal as a failed
+		// seal.
+		httpError(w, http.StatusInternalServerError, "folding partial tally: %v", err)
+		s.reportFatal(err)
 	}
 }
 
@@ -987,6 +1137,12 @@ type statsResponse struct {
 	QueueDepth      int   `json:"queue_depth"`
 	BatchesAccepted int64 `json:"batches_accepted"`
 	BatchesRejected int64 `json:"batches_rejected"`
+	// Partial-tally lane (POST /v1/partial) counters.
+	PartialsAccepted int64 `json:"partials_accepted"`
+	PartialsStale    int64 `json:"partials_stale"`
+	// Request-body buffer pool effectiveness for the report lane.
+	BufPoolHits   int64 `json:"buf_pool_hits"`
+	BufPoolMisses int64 `json:"buf_pool_misses"`
 	// Cluster is the role-specific section: the frontend's push state
 	// or the root's barrier/merge accounting. Omitted on a single node.
 	Cluster *clusterStatsResponse `json:"cluster,omitempty"`
@@ -999,15 +1155,19 @@ func (s *streamServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.manager().Stats()
 	writeJSON(w, http.StatusOK, statsResponse{
-		Domain:          st.Domain,
-		Epochs:          st.Epochs,
-		LiveTotal:       st.LiveTotal,
-		WindowTotal:     st.WindowTotal,
-		IngestedTotal:   st.IngestedTotal,
-		Targets:         st.Targets,
-		QueueDepth:      len(s.queue),
-		BatchesAccepted: s.accepted.Load(),
-		BatchesRejected: s.rejected.Load(),
-		Cluster:         s.clusterStats(),
+		Domain:           st.Domain,
+		Epochs:           st.Epochs,
+		LiveTotal:        st.LiveTotal,
+		WindowTotal:      st.WindowTotal,
+		IngestedTotal:    st.IngestedTotal,
+		Targets:          st.Targets,
+		QueueDepth:       len(s.queue),
+		BatchesAccepted:  s.accepted.Load(),
+		BatchesRejected:  s.rejected.Load(),
+		PartialsAccepted: s.partialsAccepted.Load(),
+		PartialsStale:    s.partialsStale.Load(),
+		BufPoolHits:      s.poolGets.Load() - s.poolMisses.Load(),
+		BufPoolMisses:    s.poolMisses.Load(),
+		Cluster:          s.clusterStats(),
 	})
 }

@@ -67,6 +67,16 @@ type StreamScenario struct {
 	// cluster matches the single-node run exactly. Requires
 	// Frontends > 1.
 	Churn []ChurnEvent
+	// Presum splits each epoch's population across this many edge
+	// collectors (the tally-first ingest SDK, DESIGN.md §8): every
+	// partition folds locally through a Collector, flushes a wire-coded
+	// partial tally hinted at the current epoch, and the manager ingests
+	// the decoded partials instead of the union aggregate. Counts are
+	// additive, so the per-epoch metrics are bit-identical to the
+	// count-level run — TestRunStreamPresumEquivalence pins it. <= 1
+	// ingests the union directly; requires Frontends <= 1 (partials
+	// target a collecting node, not the tally-merging root).
+	Presum int
 	// Seed drives the whole stream deterministically.
 	Seed uint64
 }
@@ -138,6 +148,12 @@ func (s StreamScenario) validate() error {
 	}
 	if len(s.Churn) > 0 && s.Frontends <= 1 {
 		return fmt.Errorf("experiment: churn schedule needs a cluster (Frontends > 1)")
+	}
+	if s.Presum < 0 || s.Presum > 1<<10 {
+		return fmt.Errorf("experiment: %d edge collectors outside [0, %d]", s.Presum, 1<<10)
+	}
+	if s.Presum > 1 && s.Frontends > 1 {
+		return fmt.Errorf("experiment: Presum partials feed a collecting node, not the cluster root; use one or the other")
 	}
 	for _, ev := range s.Churn {
 		if ev.Node == "" {
@@ -292,7 +308,33 @@ func RunStream(s StreamScenario) (*StreamMetrics, error) {
 		}
 		var est *stream.WindowEstimate
 		if merger == nil {
-			if err := mgr.AddCounts(union, total); err != nil {
+			if s.Presum > 1 {
+				// Tally-first ingest: each partition pre-aggregates at an
+				// edge Collector and travels as a wire-coded partial tally
+				// hinted at the current epoch — the full SDK → codec →
+				// AddPartial path, not a shortcut around it.
+				parts, totals := splitCounts(union, total, s.Presum)
+				for j := range parts {
+					col, err := ldp.NewCollector(fmt.Sprintf("edge-%d", j), d)
+					if err != nil {
+						return nil, err
+					}
+					if err := col.AddCounts(parts[j], totals[j]); err != nil {
+						return nil, err
+					}
+					frame, err := col.Flush(e)
+					if err != nil {
+						return nil, err
+					}
+					p, err := ldp.UnmarshalPartial(frame)
+					if err != nil {
+						return nil, err
+					}
+					if err := mgr.AddPartial(p); err != nil {
+						return nil, err
+					}
+				}
+			} else if err := mgr.AddCounts(union, total); err != nil {
 				return nil, err
 			}
 			if est, err = mgr.Seal(); err != nil {

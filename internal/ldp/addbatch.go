@@ -37,6 +37,10 @@ type batchScratch struct {
 	planes []uint64
 	// olh holds the premixed descriptors of the current OLH run.
 	olh []premixedOLH
+	// frames holds the per-report sub-frame slices of the batch frame
+	// AddBatchFrame is walking. Entries are cleared after every fold so
+	// the scratch never pins a caller's (possibly pooled) wire buffer.
+	frames [][]byte
 }
 
 // premixedOLH is one OLH report with its seed premix hoisted.
@@ -341,6 +345,15 @@ func (a *Accumulator) addOLHRun(reps []Report, start int) int {
 		run = append(run, premixedOLH{pre: hashx.Premix(ol.Seed), value: ol.Value, g: ol.G})
 	}
 	a.scratch.olh = run
+	a.sweepOLH(run)
+	return i
+}
+
+// sweepOLH folds a premixed OLH run into the count vector in item-major
+// blocks so large count vectors are walked block-by-block with all
+// reports instead of report-by-report over all items. Shared by the
+// report-slice and wire-frame ingest paths.
+func (a *Accumulator) sweepOLH(run []premixedOLH) {
 	counts := a.counts
 	for lo := 0; lo < len(counts); lo += olhBlockItems {
 		hi := lo + olhBlockItems
@@ -386,7 +399,6 @@ func (a *Accumulator) addOLHRun(reps []Report, start int) int {
 		}
 	}
 	a.total += int64(len(run))
-	return i
 }
 
 // addGRRRun consumes the run of GRR reports starting at start.

@@ -1,0 +1,359 @@
+package ldp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ldprecover/internal/hashx"
+)
+
+// Zero-copy batch ingest: AddBatchFrame folds a marshaled "LB" report
+// batch straight from the wire bytes — no []Report materialization, no
+// per-report boxing, no bitset allocation. The frame is structurally
+// validated first (the exact checks UnmarshalReportBatch/UnmarshalReport
+// perform, minus the allocations), then the same type-specialized run
+// machinery AddBatch uses walks the sub-frames in place: the Harley–Seal
+// CSA tree reads dense-unary words directly out of the wire buffer,
+// sparse/GRR increments come straight from the little-endian fields, and
+// OLH seeds premix into the shared scratch. The aggregate is
+// bit-identical to UnmarshalReportBatch + AddBatch, which the
+// equivalence tests pin; validation runs to completion before any count
+// moves, so a bad frame leaves the accumulator untouched.
+
+// ValidateReportBatchFrame structurally validates a wire-format report
+// batch frame without decoding it, returning the report count. It
+// accepts exactly the frames UnmarshalReportBatch accepts — same header
+// checks, same per-report field validation — so a frame that passes here
+// cannot fail a later decode or an AddBatchFrame fold. Servers call this
+// on the request path to settle the 400-vs-accepted decision (and learn
+// the user volume) before the frame is queued for durable ingest.
+func ValidateReportBatchFrame(frame []byte) (int, error) {
+	if len(frame) < 7 {
+		return 0, fmt.Errorf("%w: short batch frame (%d bytes)", ErrCodec, len(frame))
+	}
+	if frame[0] != batchMagic[0] || frame[1] != batchMagic[1] {
+		return 0, fmt.Errorf("%w: bad batch magic %q", ErrCodec, string(frame[:2]))
+	}
+	if frame[2] != batchVersion {
+		return 0, fmt.Errorf("%w: unsupported batch version %d", ErrCodec, frame[2])
+	}
+	count := binary.LittleEndian.Uint32(frame[3:])
+	if count > MaxBatchReports {
+		return 0, fmt.Errorf("%w: batch declares %d reports, cap %d",
+			ErrCodec, count, MaxBatchReports)
+	}
+	if int64(count)*10 > int64(len(frame)-7) {
+		return 0, fmt.Errorf("%w: batch declares %d reports in %d bytes",
+			ErrCodec, count, len(frame))
+	}
+	rest := frame[7:]
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return 0, fmt.Errorf("%w: batch truncated at report %d", ErrCodec, i)
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(n) > uint64(len(rest)) {
+			return 0, fmt.Errorf("%w: batch report %d declares %d bytes, %d remain",
+				ErrCodec, i, n, len(rest))
+		}
+		if err := validateReportFrame(rest[:n]); err != nil {
+			return 0, fmt.Errorf("batch report %d: %w", i, err)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes after batch", ErrCodec, len(rest))
+	}
+	return int(count), nil
+}
+
+// validateReportFrame checks one single-report wire frame exactly as
+// UnmarshalReport would, allocating nothing.
+func validateReportFrame(data []byte) error {
+	if len(data) < 2 {
+		return fmt.Errorf("%w: short buffer (%d bytes)", ErrCodec, len(data))
+	}
+	if data[0] != codecVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrCodec, data[0])
+	}
+	payload := data[2:]
+	switch data[1] {
+	case tagGRR:
+		if len(payload) != 4 {
+			return fmt.Errorf("%w: GRR payload %d bytes, want 4", ErrCodec, len(payload))
+		}
+	case tagUnary:
+		if len(payload) < 4 {
+			return fmt.Errorf("%w: unary payload too short", ErrCodec)
+		}
+		n := int(binary.LittleEndian.Uint32(payload))
+		const maxBits = 1 << 26
+		if n <= 0 || n > maxBits {
+			return fmt.Errorf("%w: unary bit count %d out of range", ErrCodec, n)
+		}
+		words := (n + 63) / 64
+		if len(payload) != 4+8*words {
+			return fmt.Errorf("%w: unary payload %d bytes, want %d", ErrCodec, len(payload), 4+8*words)
+		}
+		if tail := n % 64; tail != 0 {
+			if binary.LittleEndian.Uint64(payload[4+8*(words-1):])>>uint(tail) != 0 {
+				return fmt.Errorf("%w: unary report has bits beyond length %d", ErrCodec, n)
+			}
+		}
+	case tagOLHV1:
+		return fmt.Errorf("%w: OLH report uses the retired v1 hash family; "+
+			"its hash values cannot be interpreted by the current two-stage family — re-collect the report", ErrCodec)
+	case tagOLH:
+		if len(payload) != 16 {
+			return fmt.Errorf("%w: OLH payload %d bytes, want 16", ErrCodec, len(payload))
+		}
+		value := int(binary.LittleEndian.Uint32(payload[8:]))
+		g := int(binary.LittleEndian.Uint32(payload[12:]))
+		if g < 2 || value < 0 || value >= g {
+			return fmt.Errorf("%w: invalid OLH fields g=%d value=%d", ErrCodec, g, value)
+		}
+	case tagSparse:
+		if len(payload) < 8 {
+			return fmt.Errorf("%w: sparse unary payload too short", ErrCodec)
+		}
+		n := int(binary.LittleEndian.Uint32(payload))
+		const maxBits = 1 << 26
+		if n <= 0 || n > maxBits {
+			return fmt.Errorf("%w: sparse unary bit count %d out of range", ErrCodec, n)
+		}
+		k := int(binary.LittleEndian.Uint32(payload[4:]))
+		if k > n || len(payload) != 8+4*k {
+			return fmt.Errorf("%w: sparse unary payload %d bytes for %d supports", ErrCodec, len(payload), k)
+		}
+		prev := int32(-1)
+		for i := 0; i < k; i++ {
+			v := binary.LittleEndian.Uint32(payload[8+4*i:])
+			if int64(v) >= int64(n) || int32(v) <= prev {
+				return fmt.Errorf("%w: sparse unary support %d out of order or range", ErrCodec, v)
+			}
+			prev = int32(v)
+		}
+	default:
+		return fmt.Errorf("%w: unknown tag %d", ErrCodec, data[1])
+	}
+	return nil
+}
+
+// AddBatchFrame folds a wire-format report batch frame into the
+// aggregate without decoding it into reports. Bit-identical to
+// UnmarshalReportBatch followed by AddBatch; on error nothing is folded.
+func (a *Accumulator) AddBatchFrame(frame []byte) error {
+	count, err := ValidateReportBatchFrame(frame)
+	if err != nil {
+		return err
+	}
+	// Slice the validated frame into per-report sub-frames so the run
+	// walkers below can group by type; the header slice is reused across
+	// calls and cleared afterwards (it must not pin the wire buffer).
+	frames := a.scratch.frames[:0]
+	rest := frame[7:]
+	for i := 0; i < count; i++ {
+		n := binary.LittleEndian.Uint32(rest)
+		frames = append(frames, rest[4:4+n])
+		rest = rest[4+n:]
+	}
+	a.scratch.frames = frames
+	a.addFrames(frames)
+	clear(frames)
+	return nil
+}
+
+// addFrames folds validated single-report sub-frames through the
+// type-specialized run walkers, mirroring addBatch's dispatch.
+func (a *Accumulator) addFrames(frames [][]byte) {
+	i := 0
+	for i < len(frames) {
+		switch frames[i][1] {
+		case tagUnary:
+			n := int(binary.LittleEndian.Uint32(frames[i][2:]))
+			i = a.addDenseFrameRun(frames, i, (n+63)/64)
+		case tagSparse:
+			i = a.addSparseFrameRun(frames, i)
+		case tagOLH:
+			i = a.addOLHFrameRun(frames, i)
+		default: // tagGRR — validation admits no other tag
+			i = a.addGRRFrameRun(frames, i)
+		}
+	}
+}
+
+// denseFrameWords returns the little-endian word region and word count
+// of a dense unary sub-frame, or ok=false for any other tag.
+func denseFrameWords(f []byte) (words []byte, n int, ok bool) {
+	if f[1] != tagUnary {
+		return nil, 0, false
+	}
+	bitLen := int(binary.LittleEndian.Uint32(f[2:]))
+	return f[6:], (bitLen + 63) / 64, true
+}
+
+// addDenseFrameRun is addDenseRun reading report words directly out of
+// the wire buffer: the same Harley–Seal CSA tree and binary counter
+// planes, with binary.LittleEndian.Uint64 loads (a single MOV on
+// little-endian hardware) in place of bitset word indexing.
+func (a *Accumulator) addDenseFrameRun(frames [][]byte, start, words int) int {
+	need := words * (planeLevels + 3)
+	if cap(a.scratch.planes) < need {
+		a.scratch.planes = make([]uint64, need)
+	}
+	buf := a.scratch.planes[:need]
+	planes := buf[:words*planeLevels]
+	ones := buf[words*planeLevels : words*(planeLevels+1)]
+	twos := buf[words*(planeLevels+1) : words*(planeLevels+2)]
+	fours := buf[words*(planeLevels+2) : words*(planeLevels+3)]
+
+	flush := func() {
+		for wi := 0; wi < words; wi++ {
+			if w := ones[wi]; w != 0 {
+				ones[wi] = 0
+				rippleInto(planes, wi, w, 0)
+			}
+			if w := twos[wi]; w != 0 {
+				twos[wi] = 0
+				rippleInto(planes, wi, w, 1)
+			}
+			if w := fours[wi]; w != 0 {
+				fours[wi] = 0
+				rippleInto(planes, wi, w, 2)
+			}
+		}
+		a.flushPlanes(planes, words)
+	}
+
+	i := start
+	groups := 0
+	var ws [8][]byte
+	for i < len(frames) {
+		if i+8 <= len(frames) {
+			ok := true
+			for k := 0; k < 8; k++ {
+				region, n, isDense := denseFrameWords(frames[i+k])
+				if !isDense || n != words {
+					ok = false
+					break
+				}
+				ws[k] = region
+			}
+			if ok {
+				for wi := 0; wi < words; wi++ {
+					off := 8 * wi
+					o, tw, f := ones[wi], twos[wi], fours[wi]
+					var c1, c2, c3, c4, d1, d2, e uint64
+					o, c1 = csa(o, binary.LittleEndian.Uint64(ws[0][off:]), binary.LittleEndian.Uint64(ws[1][off:]))
+					o, c2 = csa(o, binary.LittleEndian.Uint64(ws[2][off:]), binary.LittleEndian.Uint64(ws[3][off:]))
+					tw, d1 = csa(tw, c1, c2)
+					o, c3 = csa(o, binary.LittleEndian.Uint64(ws[4][off:]), binary.LittleEndian.Uint64(ws[5][off:]))
+					o, c4 = csa(o, binary.LittleEndian.Uint64(ws[6][off:]), binary.LittleEndian.Uint64(ws[7][off:]))
+					tw, d2 = csa(tw, c3, c4)
+					f, e = csa(f, d1, d2)
+					ones[wi], twos[wi], fours[wi] = o, tw, f
+					if e != 0 {
+						rippleInto(planes, wi, e, 3)
+					}
+				}
+				i += 8
+				if groups++; groups == denseCSAGroups {
+					flush()
+					groups = 0
+				}
+				continue
+			}
+		}
+		region, n, ok := denseFrameWords(frames[i])
+		if !ok || n != words {
+			break
+		}
+		for wi := 0; wi < words; wi++ {
+			if w := binary.LittleEndian.Uint64(region[8*wi:]); w != 0 {
+				rippleInto(planes, wi, w, 0)
+			}
+		}
+		i++
+	}
+	flush()
+	a.total += int64(i - start)
+	return i
+}
+
+// addSparseFrameRun folds the run of sparse unary sub-frames starting at
+// start: one bounds-checked increment per encoded set position.
+func (a *Accumulator) addSparseFrameRun(frames [][]byte, start int) int {
+	counts := a.counts
+	n := uint32(len(counts))
+	i := start
+	for ; i < len(frames); i++ {
+		f := frames[i]
+		if f[1] != tagSparse {
+			break
+		}
+		k := int(binary.LittleEndian.Uint32(f[6:]))
+		for j := 0; j < k; j++ {
+			if v := binary.LittleEndian.Uint32(f[10+4*j:]); v < n {
+				counts[v]++
+			}
+		}
+		a.total++
+	}
+	return i
+}
+
+// addOLHFrameRun folds the run of OLH sub-frames starting at start:
+// premix every wire seed once into the shared scratch, then the same
+// item-major block sweep as the report-slice path.
+func (a *Accumulator) addOLHFrameRun(frames [][]byte, start int) int {
+	run := a.scratch.olh[:0]
+	i := start
+	for ; i < len(frames); i++ {
+		f := frames[i]
+		if f[1] != tagOLH {
+			break
+		}
+		run = append(run, premixedOLH{
+			pre:   hashx.Premix(binary.LittleEndian.Uint64(f[2:])),
+			value: int(binary.LittleEndian.Uint32(f[10:])),
+			g:     int(binary.LittleEndian.Uint32(f[14:])),
+		})
+	}
+	a.scratch.olh = run
+	a.sweepOLH(run)
+	return i
+}
+
+// addGRRFrameRun folds the run of GRR sub-frames starting at start.
+func (a *Accumulator) addGRRFrameRun(frames [][]byte, start int) int {
+	counts := a.counts
+	n := len(counts)
+	i := start
+	for ; i < len(frames); i++ {
+		f := frames[i]
+		if f[1] != tagGRR {
+			break
+		}
+		if v := int(binary.LittleEndian.Uint32(f[2:])); v < n {
+			counts[v]++
+		}
+		a.total++
+	}
+	return i
+}
+
+// AddBatchFrame folds a wire-format report batch frame under a single
+// shard lock — the concurrency-safe zero-copy ingest path. Bit-identical
+// to UnmarshalReportBatch + AddBatch; on error nothing is folded.
+func (sa *ShardedAccumulator) AddBatchFrame(frame []byte) error {
+	sh := sa.shard()
+	sh.mu.Lock()
+	err := sh.acc.AddBatchFrame(frame)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	sa.gen.Add(1)
+	return nil
+}

@@ -1,0 +1,295 @@
+package ldp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"slices"
+)
+
+// PartialTally is an edge-side pre-aggregated partial: the support
+// counts of a batch of users folded together *before* they cross the
+// wire. It is the unit of the tally-first ingest lane (DESIGN.md §8):
+// support counting is exactly additive, so a frontend-adjacent SDK can
+// collapse n user reports into d counts locally and the server-side
+// fold is bit-identical to having ingested every report individually —
+// the same insight the cluster tier proved for sealed tallies, pushed
+// one hop further toward the edge.
+//
+// Unlike a sealed Tally, a partial does not claim an epoch: the epoch
+// clock lives on the server. EpochHint is the collector's belief, used
+// only for staleness rejection and otherwise clamped into the epoch
+// that is open when the frame arrives.
+type PartialTally struct {
+	// NodeID identifies the collector (SDK instance) that built the
+	// partial — diagnostics and stats attribution, not dedupe: a partial
+	// is not idempotent the way a sealed (NodeID, Epoch) tally is, so
+	// the transport must not re-send one it got a 2xx for.
+	NodeID string
+	// EpochHint is the epoch the collector believed was open when it
+	// flushed. Hints older than the receiving manager's sealed watermark
+	// are rejected as stale; hints at or ahead of it are clamped into
+	// the currently open epoch.
+	EpochHint int
+	// Counts are the pre-aggregated raw support counts (length = domain).
+	Counts []int64
+	// Users is the number of user reports folded into Counts.
+	Users int64
+}
+
+// Validate checks the partial's structural invariants: a non-empty node
+// id, a non-negative epoch hint and user count, and non-negative counts
+// over a plausible domain.
+func (p *PartialTally) Validate() error {
+	if p.NodeID == "" {
+		return fmt.Errorf("%w: partial tally without a node id", ErrCodec)
+	}
+	if len(p.NodeID) > maxTallyNodeID {
+		return fmt.Errorf("%w: partial tally node id of %d bytes exceeds cap %d",
+			ErrCodec, len(p.NodeID), maxTallyNodeID)
+	}
+	if p.EpochHint < 0 {
+		return fmt.Errorf("%w: negative partial tally epoch hint %d", ErrCodec, p.EpochHint)
+	}
+	if len(p.Counts) < 2 || len(p.Counts) > maxTallyDomain {
+		return fmt.Errorf("%w: partial tally domain %d outside [2, %d]",
+			ErrCodec, len(p.Counts), maxTallyDomain)
+	}
+	if p.Users < 0 {
+		return fmt.Errorf("%w: negative partial tally user count %d", ErrCodec, p.Users)
+	}
+	for v, c := range p.Counts {
+		if c < 0 {
+			return fmt.Errorf("%w: negative partial tally count %d for item %d", ErrCodec, c, v)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (p *PartialTally) Clone() *PartialTally {
+	return &PartialTally{NodeID: p.NodeID, EpochHint: p.EpochHint,
+		Counts: slices.Clone(p.Counts), Users: p.Users}
+}
+
+// Partial-tally wire format (little endian):
+//
+//	byte 0..1:  "LP" magic
+//	byte 2:     partial format version (currently 1)
+//	byte 3..4:  uint16 node id length, then that many id bytes
+//	then:       uint64 epoch hint, uint64 user count, uint32 domain d,
+//	            d uint64 per-item support counts
+//	trailer:    uint32 CRC-32C over every preceding byte
+//
+// The layout deliberately mirrors the sealed-tally ("LT") frame — same
+// CRC discipline, same bounds caps — differing only in magic and field
+// meaning: a partial carries an epoch *hint* and a user count rather
+// than a sealed epoch and report total. Like a tally, a partial crosses
+// a node boundary and is WAL-appended verbatim, so the frame carries
+// its own checksum.
+const (
+	partialVersion = 1
+
+	partialHeaderSize = 2 + 1 + 2
+)
+
+var partialMagic = [2]byte{'L', 'P'}
+
+// MarshalPartial frames a partial tally for the wire.
+func MarshalPartial(p *PartialTally) ([]byte, error) {
+	if p == nil {
+		return nil, fmt.Errorf("%w: marshaling a nil partial tally", ErrCodec)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	size := partialHeaderSize + len(p.NodeID) + 8 + 8 + 4 + 8*len(p.Counts) + 4
+	b := make([]byte, 0, size)
+	b = append(b, partialMagic[0], partialMagic[1], partialVersion)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(p.NodeID)))
+	b = append(b, p.NodeID...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.EpochHint))
+	b = binary.LittleEndian.AppendUint64(b, uint64(p.Users))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Counts)))
+	for _, c := range p.Counts {
+		b = binary.LittleEndian.AppendUint64(b, uint64(c))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, tallyCRCTable)), nil
+}
+
+// UnmarshalPartial parses a wire-format partial tally. The CRC is
+// verified before any field is trusted; every declared length is
+// bounds-checked before it drives an allocation, so corrupt or hostile
+// frames error out without panicking or ballooning memory.
+func UnmarshalPartial(data []byte) (*PartialTally, error) {
+	if len(data) < partialHeaderSize+8+8+4+4 {
+		return nil, fmt.Errorf("%w: short partial tally frame (%d bytes)", ErrCodec, len(data))
+	}
+	if data[0] != partialMagic[0] || data[1] != partialMagic[1] {
+		return nil, fmt.Errorf("%w: bad partial tally magic %q", ErrCodec, string(data[:2]))
+	}
+	if data[2] != partialVersion {
+		return nil, fmt.Errorf("%w: unsupported partial tally version %d", ErrCodec, data[2])
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, tallyCRCTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("%w: partial tally checksum mismatch", ErrCodec)
+	}
+	idLen := int(binary.LittleEndian.Uint16(data[3:]))
+	if idLen == 0 || idLen > maxTallyNodeID {
+		return nil, fmt.Errorf("%w: partial tally node id length %d outside [1, %d]",
+			ErrCodec, idLen, maxTallyNodeID)
+	}
+	rest := body[partialHeaderSize:]
+	if len(rest) < idLen+8+8+4 {
+		return nil, fmt.Errorf("%w: partial tally frame truncated inside header", ErrCodec)
+	}
+	p := &PartialTally{NodeID: string(rest[:idLen])}
+	rest = rest[idLen:]
+	hint := binary.LittleEndian.Uint64(rest)
+	users := binary.LittleEndian.Uint64(rest[8:])
+	d := binary.LittleEndian.Uint32(rest[16:])
+	rest = rest[20:]
+	if hint > math.MaxInt64 || users > math.MaxInt64 {
+		return nil, fmt.Errorf("%w: partial tally epoch hint/user count out of int64 range", ErrCodec)
+	}
+	p.EpochHint = int(hint)
+	p.Users = int64(users)
+	if d < 2 || d > maxTallyDomain {
+		return nil, fmt.Errorf("%w: partial tally domain %d outside [2, %d]", ErrCodec, d, maxTallyDomain)
+	}
+	if len(rest) != 8*int(d) {
+		return nil, fmt.Errorf("%w: partial tally frame holds %d count bytes, domain %d needs %d",
+			ErrCodec, len(rest), d, 8*d)
+	}
+	p.Counts = make([]int64, d)
+	for v := range p.Counts {
+		p.Counts[v] = int64(binary.LittleEndian.Uint64(rest[8*v:]))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Collector is the edge pre-aggregation SDK: a frontend-adjacent client
+// folds its users' reports into a local partial tally and ships d
+// counts per flush instead of n reports. Ingest runs through the same
+// type-specialized AddBatch fast paths the server uses (Harley–Seal
+// bit-plane counting for dense unary, premixed item-major sweeps for
+// OLH), so an edge box can absorb its population at memory speed; the
+// server-side fold of the flushed partial is bit-identical to the
+// server having ingested every report itself.
+//
+// A Collector is NOT safe for concurrent use — run one per goroutine
+// and flush independently (partials merge exactly, in any grouping), or
+// serialize access externally. The zero value is not usable; construct
+// with NewCollector.
+type Collector struct {
+	nodeID string
+	acc    *Accumulator
+	users  int64
+}
+
+// NewCollector returns an empty collector over a domain of size d,
+// identified by nodeID in the frames it flushes.
+func NewCollector(nodeID string, d int) (*Collector, error) {
+	if nodeID == "" || len(nodeID) > maxTallyNodeID {
+		return nil, fmt.Errorf("%w: collector node id length %d outside [1, %d]",
+			ErrCodec, len(nodeID), maxTallyNodeID)
+	}
+	acc, err := NewAccumulator(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Collector{nodeID: nodeID, acc: acc}, nil
+}
+
+// Domain returns the domain size d.
+func (c *Collector) Domain() int { return len(c.acc.counts) }
+
+// Users returns the number of user reports folded in since the last
+// flush or reset.
+func (c *Collector) Users() int64 { return c.users }
+
+// Add folds one user report into the pending partial.
+func (c *Collector) Add(rep Report) error {
+	if err := c.acc.Add(rep); err != nil {
+		return err
+	}
+	c.users++
+	return nil
+}
+
+// AddBatch folds a slice of user reports through the type-specialized
+// batch fast paths; it is the preferred ingest call when reports arrive
+// in chunks.
+func (c *Collector) AddBatch(reps []Report) error {
+	if err := c.acc.AddBatch(reps); err != nil {
+		return err
+	}
+	c.users += int64(len(reps))
+	return nil
+}
+
+// AddCounts folds pre-aggregated support counts from total users — the
+// path for partials computed even further out (another process, a batch
+// perturber's output).
+func (c *Collector) AddCounts(counts []int64, total int64) error {
+	if len(counts) != len(c.acc.counts) {
+		return errLenMismatch(len(counts), len(c.acc.counts))
+	}
+	if total < 0 {
+		return fmt.Errorf("ldp: negative report total %d", total)
+	}
+	for v, cnt := range counts {
+		if cnt < 0 {
+			return errNegCount(v, cnt)
+		}
+	}
+	for v, cnt := range counts {
+		c.acc.counts[v] += cnt
+	}
+	c.acc.total += total
+	c.users += total
+	return nil
+}
+
+// Partial snapshots the pending aggregate as a partial tally carrying
+// the given epoch hint. The collector keeps its state; use Flush for
+// the ship-and-reset cycle.
+func (c *Collector) Partial(epochHint int) (*PartialTally, error) {
+	p := &PartialTally{NodeID: c.nodeID, EpochHint: epochHint,
+		Counts: slices.Clone(c.acc.counts), Users: c.users}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Flush frames the pending aggregate as a wire-format partial tally
+// carrying the given epoch hint and resets the collector for the next
+// batch. This is the SDK's steady-state cycle: accumulate a batch,
+// Flush, POST the frame to /v1/partial.
+func (c *Collector) Flush(epochHint int) ([]byte, error) {
+	p, err := c.Partial(epochHint)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := MarshalPartial(p)
+	if err != nil {
+		return nil, err
+	}
+	c.Reset()
+	return frame, nil
+}
+
+// Reset discards the pending aggregate.
+func (c *Collector) Reset() {
+	for v := range c.acc.counts {
+		c.acc.counts[v] = 0
+	}
+	c.acc.total = 0
+	c.users = 0
+}

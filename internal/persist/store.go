@@ -31,10 +31,14 @@ type RestoreInfo struct {
 	// SnapshotSeq is how many epochs the loaded snapshot had sealed; 0
 	// means no snapshot existed (cold start).
 	SnapshotSeq int
-	// ReplayedBatches and ReplayedReports count the WAL tail folded back
-	// into the live epoch.
+	// ReplayedBatches and ReplayedReports count the WAL tail's
+	// report-batch records folded back into the live epoch.
 	ReplayedBatches int
 	ReplayedReports int64
+	// ReplayedPartials and ReplayedPartialUsers count the WAL tail's
+	// partial-tally records folded back into the live epoch.
+	ReplayedPartials     int
+	ReplayedPartialUsers int64
 }
 
 // Store makes one EpochManager durable. Layout under its directory:
@@ -132,7 +136,26 @@ func Open(dir string, mgr *stream.EpochManager, opts Options) (*Store, error) {
 	// appends must not reuse LSNs the snapshot already covers.
 	s.wal.AdvanceTo(walSeq)
 
+	// The WAL is payload-agnostic; records are dispatched on their
+	// 2-byte frame magic. "LP" partial tallies replay through AddCounts
+	// regardless of their epoch hint: the hint was checked against the
+	// sealed watermark when the record was accepted (append and fold are
+	// atomic with respect to seals), so on replay the fold is
+	// unconditional — exactly like report batches, every surviving
+	// record rebuilds the live epoch.
 	err = s.wal.Replay(walSeq, func(_ uint64, payload []byte) error {
+		if len(payload) >= 2 && payload[0] == 'L' && payload[1] == 'P' {
+			p, err := ldp.UnmarshalPartial(payload)
+			if err != nil {
+				return fmt.Errorf("persist: replaying WAL partial tally: %w", err)
+			}
+			if err := s.mgr.AddCounts(p.Counts, p.Users); err != nil {
+				return err
+			}
+			s.restored.ReplayedPartials++
+			s.restored.ReplayedPartialUsers += p.Users
+			return nil
+		}
 		reps, err := ldp.UnmarshalReportBatch(payload)
 		if err != nil {
 			return fmt.Errorf("persist: replaying WAL batch: %w", err)
@@ -173,6 +196,54 @@ func (s *Store) AppendBatch(frame []byte, reps []ldp.Report) error {
 		return err
 	}
 	return s.mgr.AddBatch(reps)
+}
+
+// AppendBatchFrame durably logs a report batch frame and folds it into
+// the live epoch without ever decoding it into reports — the zero-copy
+// ingest lane. The frame is structurally validated before it touches
+// the log (an invalid frame must not poison replay), appended verbatim,
+// and counted in place; the result is bit-identical to AppendBatch with
+// the decoded reports.
+func (s *Store) AppendBatchFrame(frame []byte) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errors.New("persist: store is closed")
+	}
+	if _, err := ldp.ValidateReportBatchFrame(frame); err != nil {
+		return err
+	}
+	if _, err := s.wal.Append(frame); err != nil {
+		return err
+	}
+	return s.mgr.AddBatchFrame(frame)
+}
+
+// AppendPartial durably logs an edge-aggregated partial tally and folds
+// it into the live epoch. frame must be the ldp partial codec encoding
+// of p — servers pass the wire bytes they already hold alongside the
+// decoded partial. The staleness check runs before the append so a
+// rejected partial leaves no durable trace; holding the append lock
+// shared excludes Seal, so the watermark cannot move between the check
+// and the fold — the WAL never holds a partial the manager rejected,
+// and replay can fold every surviving record unconditionally.
+func (s *Store) AppendPartial(frame []byte, p *ldp.PartialTally) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errors.New("persist: store is closed")
+	}
+	if p == nil {
+		return errors.New("persist: nil partial tally")
+	}
+	if p.EpochHint < s.mgr.SealedWatermark() {
+		return fmt.Errorf("%w: hint %d, watermark %d",
+			stream.ErrStalePartial, p.EpochHint, s.mgr.SealedWatermark())
+	}
+	if _, err := s.wal.Append(frame); err != nil {
+		return err
+	}
+	return s.mgr.AddPartial(p)
 }
 
 // Seal closes the live epoch, snapshots the manager's state, and

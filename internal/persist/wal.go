@@ -107,6 +107,7 @@ type WAL struct {
 	size     int64        // live segment size
 	nextLSN  uint64       // LSN the next append receives
 	unsynced int          // appends since the last fsync
+	rec      []byte       // reusable record scratch, guarded by mu
 }
 
 // OpenWAL opens (or creates) the write-ahead log in dir. The final
@@ -188,7 +189,13 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 		return 0, errors.New("persist: WAL is closed")
 	}
 	lsn := w.nextLSN
-	rec := make([]byte, walHeaderSize+len(payload))
+	// The record scratch is reused across appends (the ingest hot path
+	// runs one append per HTTP batch) so steady-state appends allocate
+	// nothing; w.mu already serializes access.
+	if need := walHeaderSize + len(payload); cap(w.rec) < need {
+		w.rec = make([]byte, need)
+	}
+	rec := w.rec[:walHeaderSize+len(payload)]
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(rec[4:], lsn)
 	copy(rec[walHeaderSize:], payload)

@@ -258,6 +258,21 @@ func (m *EpochManager) AddCounts(counts []int64, total int64) error {
 	return m.live.AddCounts(counts, total)
 }
 
+// AddBatchFrame folds a wire-format report batch frame into the open
+// epoch without decoding it — the zero-copy ingest lane. Bit-identical
+// to UnmarshalReportBatch + AddBatch.
+func (m *EpochManager) AddBatchFrame(frame []byte) error {
+	return m.live.AddBatchFrame(frame)
+}
+
+// SealedWatermark returns the next epoch's sequence number — the
+// sealed watermark partial-tally epoch hints are checked against.
+func (m *EpochManager) SealedWatermark() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
+
 // Seal closes the open epoch and returns the new window estimate. Ingest
 // is never stopped: reports racing the seal land entirely in the sealed
 // epoch or the next one. The sealed epoch joins the ring (evicting beyond

@@ -249,6 +249,49 @@ func OpenDurableStore(dir string, mgr *EpochManager, opts DurableOptions) (*Dura
 // DurableOptions leaves SegmentBytes zero.
 const DefaultWALSegmentBytes = persist.DefaultSegmentBytes
 
+// Tally-first ingest (DESIGN.md §8): a Collector pre-aggregates user
+// reports at the edge into an exact partial tally — d support counts
+// plus a user count — so the wire and the WAL carry one small frame
+// where report-level ingest carries thousands, and the zero-copy lane
+// folds report batches straight off their wire frames with no
+// per-report decoding. Both lanes are bit-identical to report-level
+// ingest: support counts are integers and addition is exact wherever
+// it happens.
+type (
+	// Collector is the client-side pre-aggregation SDK: Add/AddBatch
+	// fold reports locally (through the same fast paths the server
+	// uses), Flush frames the partial tally for POST /v1/partial.
+	Collector = ldp.Collector
+	// PartialTally is an edge-aggregated partial tally frame's decoded
+	// form: node id, advisory epoch hint, support counts, user count.
+	PartialTally = ldp.PartialTally
+)
+
+// ErrStalePartial rejects a partial tally whose epoch hint predates the
+// server's sealed watermark; serve answers 409 and the collector
+// re-aggregates for the current epoch (partials, unlike sealed tallies,
+// are not idempotent and cannot be deduplicated).
+var ErrStalePartial = stream.ErrStalePartial
+
+// NewCollector returns an empty edge collector over a domain of size d,
+// identified to the server as nodeID.
+func NewCollector(nodeID string, d int) (*Collector, error) { return ldp.NewCollector(nodeID, d) }
+
+// MarshalPartial frames a partial tally for the wire; like the tally
+// and WAL codecs the frame carries its own CRC-32C.
+func MarshalPartial(p *PartialTally) ([]byte, error) { return ldp.MarshalPartial(p) }
+
+// UnmarshalPartial parses and checksums a wire-format partial tally.
+func UnmarshalPartial(data []byte) (*PartialTally, error) { return ldp.UnmarshalPartial(data) }
+
+// ValidateReportBatchFrame structurally validates a report batch frame
+// without decoding it, returning its report count — the zero-copy
+// ingest lane's admission check. It accepts exactly the frames
+// UnmarshalReportBatch accepts.
+func ValidateReportBatchFrame(frame []byte) (int, error) {
+	return ldp.ValidateReportBatchFrame(frame)
+}
+
 // Scale-out collection tier (DESIGN.md §7): frontend nodes ingest
 // disjoint user populations, seal epochs on a shared epoch clock, and
 // push CRC-framed sealed tallies to a root, whose SealedMerger runs an
