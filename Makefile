@@ -6,7 +6,7 @@ GO ?= go
 # `FUZZTIME=10m make fuzz` away.
 FUZZTIME ?= 10s
 
-.PHONY: all build test race bench-smoke bench-json bench-ingest vet fuzz ci
+.PHONY: all build test race bench-smoke bench-json bench-ingest bench-merge vet fuzz ci
 
 all: build test
 
@@ -74,6 +74,24 @@ bench-ingest:
 		-gate-den 'BenchmarkDurableIngest/report-level' \
 		-gate-min 5 BENCH_ingest.tmp
 	rm -f BENCH_ingest.tmp
+
+# Merge-on-arrival micro-suite: re-baselines the per-tally accept cost
+# (the pre-refactor clone + seal-time fold vs the single-pass fold into
+# the epoch accumulator) and the root's barrier-seal latency across
+# fan-ins, folds the rows into BENCH_report.json in place, and gates the
+# run: fold-on-arrival must move at least 2x the MB/s of clone+fold at
+# d=65536, or the target (and CI) fails. RootSealLatency's flatness
+# across nodes=4..64 is recorded for the report, eyeballed not gated —
+# a ±10% band is too tight for shared CI runners to assert on.
+bench-merge:
+	$(GO) test -run '^$$' -bench 'BenchmarkMergeParallel' -benchtime 300ms ./internal/ldp > BENCH_merge.tmp
+	$(GO) test -run '^$$' -bench 'BenchmarkRootSealLatency' -benchtime 200ms ./internal/stream >> BENCH_merge.tmp
+	cat BENCH_merge.tmp
+	$(GO) run ./cmd/benchjson -merge BENCH_report.json -o BENCH_report.json \
+		-gate-num 'BenchmarkMergeParallel/d=65536/parallel' \
+		-gate-den 'BenchmarkMergeParallel/d=65536/sequential' \
+		-gate-min 2 BENCH_merge.tmp
+	rm -f BENCH_merge.tmp
 
 vet:
 	$(GO) vet ./...

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -33,6 +35,14 @@ import (
 // Because tally merging is exact integer addition and epochs seal in
 // clock order, the root's estimates are bit-identical to a single-node
 // server fed every report; TestClusterEquivalenceE2E pins that.
+//
+// The two tiers compose into an N-level tree (DESIGN.md §9): a
+// -role=merger node runs the root's barrier machinery over its own
+// children and a frontend's delivery queue toward its parent — each
+// epoch it seals is re-pushed upward as a single merged tally under the
+// merger's node id, persisted (when durable) before the push, so the
+// at-least-once/dedupe contract holds level by level and the top root's
+// estimates stay bit-identical at any depth (TestTreeEquivalenceE2E).
 //
 // Membership is elastic: a frontend started with -join announces itself
 // on POST /v1/membership and begins contributing at the epoch boundary
@@ -112,6 +122,11 @@ type tallyPusher struct {
 	failStreak int                 // consecutive failed passes on the active url
 	failovers  int64               // times the active url rotated
 
+	// backoffRng drives the decorrelated retry jitter. Seeded from the
+	// node id so each pusher's schedule is deterministic per node yet
+	// distinct across siblings; used only from the loop goroutine.
+	backoffRng *rand.Rand
+
 	runCtx    context.Context // canceled at close: in-flight steady-state pushes abort
 	runCancel context.CancelFunc
 	kick      chan struct{}
@@ -124,6 +139,8 @@ func newTallyPusher(nodeID string, urls []string, interval time.Duration, maxPen
 		interval = defaultPushInterval
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	seed := fnv.New64a()
+	seed.Write([]byte(nodeID))
 	p := &tallyPusher{
 		nodeID:       nodeID,
 		urls:         urls,
@@ -131,6 +148,7 @@ func newTallyPusher(nodeID string, urls []string, interval time.Duration, maxPen
 		interval:     interval,
 		maxPending:   maxPending,
 		flushTimeout: shutdownFlushTimeout,
+		backoffRng:   rand.New(rand.NewSource(int64(seed.Sum64()))),
 		runCtx:       ctx,
 		runCancel:    cancel,
 		kick:         make(chan struct{}, 1),
@@ -193,9 +211,9 @@ func (p *tallyPusher) failoverCount() int64 {
 // loop pushes pending tallies, re-checking every interval (the root
 // seals an epoch only once every frontend delivered, so "accepted but
 // not sealed" is the steady state between clock ticks) and backing off
-// exponentially when the root is unreachable. Every wait selects on the
-// stop channel: shutdown never sits out a backoff or an in-flight
-// retry against a dead root.
+// with decorrelated jitter when the root is unreachable. Every wait
+// selects on the stop channel: shutdown never sits out a backoff or an
+// in-flight retry against a dead root.
 func (p *tallyPusher) loop() {
 	defer p.wg.Done()
 	backoff := p.interval
@@ -209,10 +227,27 @@ func (p *tallyPusher) loop() {
 		}
 		if p.pushAll(p.runCtx) {
 			backoff = p.interval
-		} else if backoff = backoff * 2; backoff > maxPushBackoff {
-			backoff = maxPushBackoff
+		} else {
+			backoff = p.nextBackoff(backoff)
 		}
 	}
+}
+
+// nextBackoff picks the retry delay after a failed pass: uniform in
+// [interval, 3*prev), capped at maxPushBackoff — decorrelated jitter
+// rather than plain doubling. When a root restart leaves every child
+// with a failed pass at the same instant, synchronized exponential
+// schedules would keep the whole tier retrying in lockstep bursts;
+// jittered schedules diverge after the first round, and the per-node
+// seed keeps each node's sequence reproducible for debugging. Only the
+// loop goroutine calls this.
+func (p *tallyPusher) nextBackoff(prev time.Duration) time.Duration {
+	span := 3*prev - p.interval
+	next := p.interval + time.Duration(p.backoffRng.Float64()*float64(span))
+	if next > maxPushBackoff {
+		next = maxPushBackoff
+	}
+	return next
 }
 
 // finalFlush is the shutdown delivery attempt, bounded as a whole by
@@ -397,6 +432,13 @@ type rootMerge struct {
 	timeout time.Duration             // 0: wait for stragglers forever
 	fatal   func(error)
 
+	// onSealed, when set, is invoked under r.mu for every epoch this
+	// barrier seals, after the seal has been persisted and the watermark
+	// advanced. An interior merger (-role=merger) uses it to enqueue the
+	// just-merged epoch for delivery to its own parent — persist before
+	// push, so the parent never acks a tally this node could forget.
+	onSealed func(epoch int)
+
 	mu        sync.Mutex
 	timer     *time.Timer
 	persisted int // durably sealed watermark (== merger's when snaps == nil)
@@ -561,6 +603,9 @@ func (r *rootMerge) seal(forceEpoch int) error {
 			}
 		}
 		r.persisted = r.merger.SealedThrough()
+		if r.onSealed != nil {
+			r.onSealed(info.Epoch)
+		}
 		if len(info.Missing) == 0 {
 			fmt.Printf("merged epoch %d: %d nodes / %d reports, window estimate seq %d\n",
 				info.Epoch, len(info.Nodes), info.Total, est.Seq)
@@ -922,17 +967,20 @@ type clusterStatsResponse struct {
 
 // mergedEpochResponse is one sealed epoch's partial-epoch accounting.
 type mergedEpochResponse struct {
-	Epoch      int      `json:"epoch"`
-	Nodes      []string `json:"nodes,omitempty"`
-	Missing    []string `json:"missing,omitempty"`
-	Total      int64    `json:"total"`
-	Duplicates int      `json:"duplicates,omitempty"`
+	Epoch      int              `json:"epoch"`
+	Nodes      []string         `json:"nodes,omitempty"`
+	Missing    []string         `json:"missing,omitempty"`
+	NodeTotals map[string]int64 `json:"node_totals,omitempty"`
+	Total      int64            `json:"total"`
+	Duplicates int              `json:"duplicates,omitempty"`
 }
 
 // clusterStats builds the role section of /v1/stats, nil in single-node
-// mode.
+// mode. A merger carries both halves: the barrier it runs over its
+// children and the delivery queue toward its parent.
 func (s *streamServer) clusterStats() *clusterStatsResponse {
-	if s.pusher != nil {
+	root := s.currentRoot()
+	if s.pusher != nil && root == nil {
 		return &clusterStatsResponse{
 			Role:           "frontend",
 			NodeID:         s.pusher.nodeID,
@@ -942,7 +990,6 @@ func (s *streamServer) clusterStats() *clusterStatsResponse {
 			Failovers:      s.pusher.failoverCount(),
 		}
 	}
-	root := s.currentRoot()
 	if root == nil && s.standby == nil {
 		return nil
 	}
@@ -961,10 +1008,18 @@ func (s *streamServer) clusterStats() *clusterStatsResponse {
 		cs.Role = "standby"
 		cs.Promoted = true
 	}
+	if s.pusher != nil {
+		cs.Role = "merger"
+		cs.NodeID = s.pusher.nodeID
+		cs.RootAddr = s.pusher.url()
+		cs.PendingTallies = s.pusher.pendingCount()
+		cs.DroppedTallies = s.pusher.droppedCount()
+		cs.Failovers = s.pusher.failoverCount()
+	}
 	for _, m := range root.merger.Merged() {
 		cs.Merged = append(cs.Merged, mergedEpochResponse{
 			Epoch: m.Epoch, Nodes: m.Nodes, Missing: m.Missing,
-			Total: m.Total, Duplicates: m.Duplicates,
+			NodeTotals: m.NodeTotals, Total: m.Total, Duplicates: m.Duplicates,
 		})
 	}
 	return cs

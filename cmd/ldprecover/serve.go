@@ -55,13 +55,16 @@ import (
 // recovered-baseline history and target-tracker hysteresis that drive
 // the LDPRecover* upgrade, which an in-memory server forgets.
 //
-// With -role the server joins a two-tier cluster (DESIGN.md §7):
+// With -role the server joins a cluster (DESIGN.md §7):
 // -role=frontend ingests reports as above but pushes every sealed
 // epoch's tally to -root-addr instead of identifying targets itself;
 // -role=root accepts those tallies on POST /v1/tally, merges them
 // behind an epoch barrier over the -nodes set (with a -tally-timeout
 // straggler policy), and serves estimates bit-identical to a single
-// node that saw every report.
+// node that saw every report. -role=merger is both at once (DESIGN.md
+// §9): it runs the root's barrier over its -nodes children and pushes
+// each epoch it seals upward to -root-addr as one merged tally under
+// its -node-id, composing into an aggregation tree of any depth.
 func runServe(args []string) error {
 	fs := newFlagSet("serve")
 	var (
@@ -82,12 +85,12 @@ func runServe(args []string) error {
 		dataDir  = fs.String("data-dir", "", "durable state directory: WAL + per-seal snapshots (empty: in-memory only)")
 		fsyncN   = fs.Int("fsync-every", 1, "fsync the WAL every n-th batch (negative: only at epoch seals)")
 		walSeg   = fs.Int64("wal-segment", ldprecover.DefaultWALSegmentBytes, "WAL segment rotation size in bytes")
-		role     = fs.String("role", "", "cluster role: frontend (ingest + push sealed tallies), root (merge tallies), or standby (tail the root, promote on failure); empty: single node")
-		rootAddr = fs.String("root-addr", "", "frontend/standby: the root node's base URL, e.g. http://10.0.0.1:8347")
-		nodeID   = fs.String("node-id", "", "frontend: unique node id (the root dedupes tallies by it); standby: lease owner name")
-		nodesF   = fs.String("nodes", "", "root: comma-separated expected frontend node ids (the epoch barrier set); standby: promotion fallback when the seal-log is empty")
-		tallyTO  = fs.Duration("tally-timeout", 30*time.Second, "root/standby: straggler timeout before a partial epoch seal (0: wait forever)")
-		sbAddr   = fs.String("standby-addr", "", "frontend: the standby's base URL; tally delivery fails over to it when the root stops answering")
+		role     = fs.String("role", "", "cluster role: frontend (ingest + push sealed tallies), root (merge tallies), merger (merge children, push the merged tally upward), or standby (tail the root, promote on failure); empty: single node")
+		rootAddr = fs.String("root-addr", "", "frontend/merger/standby: the parent (root) node's base URL, e.g. http://10.0.0.1:8347")
+		nodeID   = fs.String("node-id", "", "frontend/merger: unique node id (the parent dedupes tallies by it); standby: lease owner name")
+		nodesF   = fs.String("nodes", "", "root/merger: comma-separated expected child node ids (the epoch barrier set); standby: promotion fallback when the seal-log is empty")
+		tallyTO  = fs.Duration("tally-timeout", 30*time.Second, "root/merger/standby: straggler timeout before a partial epoch seal (0: wait forever)")
+		sbAddr   = fs.String("standby-addr", "", "frontend/merger: the parent's standby base URL; tally delivery fails over to it when the parent stops answering")
 		joinF    = fs.Bool("join", false, "frontend: announce this node to the root at boot and start contributing at the assigned epoch boundary")
 		leaveF   = fs.Bool("leave-on-shutdown", false, "frontend: announce departure at shutdown so the root's barrier stops expecting this node")
 		promoteA = fs.Duration("promote-after", 10*time.Second, "standby: promote once the root has been unreachable this long and its lease is stale")
@@ -190,6 +193,9 @@ func runServe(args []string) error {
 	case roleRoot:
 		fmt.Printf("root serving %s (d=%d, epsilon=%g) on http://%s  merging %d frontends %v, straggler timeout %s\n",
 			proto.Name(), *d, *eps, ln.Addr(), len(nodes), nodes, *tallyTO)
+	case roleMerger:
+		fmt.Printf("merger %q on http://%s  merging %d children %v (straggler timeout %s), pushing merged tallies to %s\n",
+			*nodeID, ln.Addr(), len(nodes), nodes, *tallyTO, *rootAddr)
 	case roleStandby:
 		fmt.Printf("standby on http://%s  tailing %s, watching root %s, promoting after %s unreachable\n",
 			ln.Addr(), *dataDir, *rootAddr, *promoteA)
@@ -205,6 +211,7 @@ func runServe(args []string) error {
 const (
 	roleFrontend = "frontend"
 	roleRoot     = "root"
+	roleMerger   = "merger"
 	roleStandby  = "standby"
 )
 
@@ -216,9 +223,9 @@ const (
 func validateClusterFlags(role, rootAddr, nodeID, nodesF, standbyAddr, dataDir string,
 	tallyTO, promoteAfter time.Duration, explicit map[string]bool) ([]string, error) {
 	switch role {
-	case "", roleFrontend, roleRoot, roleStandby:
+	case "", roleFrontend, roleRoot, roleMerger, roleStandby:
 	default:
-		return nil, fmt.Errorf("-role %q is not one of frontend, root, standby (or empty for single-node)", role)
+		return nil, fmt.Errorf("-role %q is not one of frontend, root, merger, standby (or empty for single-node)", role)
 	}
 	checkURL := func(flagName, v string) error {
 		if u, err := url.Parse(v); err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
@@ -226,25 +233,30 @@ func validateClusterFlags(role, rootAddr, nodeID, nodesF, standbyAddr, dataDir s
 		}
 		return nil
 	}
-	if role != roleFrontend && role != roleStandby {
+	if role != roleFrontend && role != roleMerger && role != roleStandby {
 		if explicit["root-addr"] {
-			return nil, fmt.Errorf("-root-addr is for nodes that talk to the root (-role=frontend pushes tallies there, -role=standby health-checks it); not for -role=%q", role)
+			return nil, fmt.Errorf("-root-addr is for nodes that talk to a parent (-role=frontend and -role=merger push tallies there, -role=standby health-checks it); not for -role=%q", role)
 		}
 		if explicit["node-id"] {
-			return nil, fmt.Errorf("-node-id names a frontend (the root dedupes by it) or a standby's lease owner; not for -role=%q", role)
+			return nil, fmt.Errorf("-node-id names a frontend or merger (the parent dedupes by it) or a standby's lease owner; not for -role=%q", role)
 		}
 	}
-	if role != roleRoot && role != roleStandby {
+	if role != roleRoot && role != roleMerger && role != roleStandby {
 		if explicit["nodes"] {
-			return nil, fmt.Errorf("-nodes is the epoch barrier set; it needs -role=root (or -role=standby as promotion fallback)")
+			return nil, fmt.Errorf("-nodes is the epoch barrier set; it needs -role=root or -role=merger (or -role=standby as promotion fallback)")
 		}
 		if explicit["tally-timeout"] {
-			return nil, fmt.Errorf("-tally-timeout is the straggler policy; it needs -role=root (or -role=standby for after promotion)")
+			return nil, fmt.Errorf("-tally-timeout is the straggler policy; it needs -role=root or -role=merger (or -role=standby for after promotion)")
 		}
 	}
+	if role != roleFrontend && role != roleMerger && explicit["standby-addr"] {
+		return nil, fmt.Errorf("-standby-addr is the upward failover target; it needs -role=frontend or -role=merger")
+	}
 	if role != roleFrontend {
-		for _, f := range []string{"standby-addr", "join", "leave-on-shutdown"} {
+		for _, f := range []string{"join", "leave-on-shutdown"} {
 			if explicit[f] {
+				// A merger cannot join/leave its parent elastically: its
+				// node id is a fixed entry in the parent's -nodes barrier.
 				return nil, fmt.Errorf("-%s is a frontend flag; it needs -role=frontend", f)
 			}
 		}
@@ -302,6 +314,41 @@ func validateClusterFlags(role, rootAddr, nodeID, nodesF, standbyAddr, dataDir s
 		}
 		if nodesF == "" {
 			return nil, fmt.Errorf("-role=root requires -nodes (comma-separated frontend node ids forming the epoch barrier)")
+		}
+		if tallyTO < 0 {
+			return nil, fmt.Errorf("-tally-timeout %s is negative; use 0 to wait for stragglers forever", tallyTO)
+		}
+		return parseNodes()
+	case roleMerger:
+		// Like a frontend toward its parent: target identification runs
+		// at the tree's true root, over the full union.
+		for _, f := range []string{"targets", "minz", "stable"} {
+			if explicit[f] {
+				return nil, fmt.Errorf("-%s configures target identification, which -role=merger delegates to the tree's root; set it there", f)
+			}
+		}
+		if explicit["epoch"] {
+			return nil, fmt.Errorf("-epoch is the frontends' shared clock; a merger's epochs close on its children's tally barriers and -tally-timeout")
+		}
+		if rootAddr == "" {
+			return nil, fmt.Errorf("-role=merger requires -root-addr (the parent node's base URL)")
+		}
+		if err := checkURL("root-addr", rootAddr); err != nil {
+			return nil, err
+		}
+		if standbyAddr != "" {
+			if err := checkURL("standby-addr", standbyAddr); err != nil {
+				return nil, err
+			}
+		}
+		if nodeID == "" {
+			return nil, fmt.Errorf("-role=merger requires -node-id (unique per merger; the parent dedupes tallies by it)")
+		}
+		if len(nodeID) > 256 {
+			return nil, fmt.Errorf("-node-id of %d bytes exceeds the tally codec's 256-byte cap", len(nodeID))
+		}
+		if nodesF == "" {
+			return nil, fmt.Errorf("-role=merger requires -nodes (comma-separated child node ids forming the epoch barrier)")
 		}
 		if tallyTO < 0 {
 			return nil, fmt.Errorf("-tally-timeout %s is negative; use 0 to wait for stragglers forever", tallyTO)
@@ -409,8 +456,10 @@ type streamServerConfig struct {
 	// Role selects cluster mode: "" (single node), "frontend" (push
 	// sealed tallies to RootAddr as NodeID), "root" (merge tallies
 	// from the Nodes barrier set, forcing partial seals after
-	// TallyTimeout), or "standby" (tail the root's DataDir, promote
-	// when the root goes dark past PromoteAfter).
+	// TallyTimeout), "merger" (both: merge the Nodes children, push
+	// each merged epoch upward to RootAddr as NodeID), or "standby"
+	// (tail the root's DataDir, promote when the root goes dark past
+	// PromoteAfter).
 	Role         string
 	NodeID       string
 	RootAddr     string
@@ -461,11 +510,12 @@ type streamServer struct {
 	wg      sync.WaitGroup
 	maxBody int64
 
-	// pusher is set on frontends: sealed epochs enqueue here and are
-	// delivered to the root at-least-once. root is set on roots: the
-	// barrier driver behind POST /v1/tally. standby is set on standbys:
-	// the tail/health/promotion machinery, which installs a rootMerge of
-	// its own when it takes over. All nil on a single node.
+	// pusher is set on frontends and mergers: sealed epochs enqueue here
+	// and are delivered to the parent at-least-once. root is set on
+	// roots and mergers: the barrier driver behind POST /v1/tally.
+	// standby is set on standbys: the tail/health/promotion machinery,
+	// which installs a rootMerge of its own when it takes over. All nil
+	// on a single node.
 	pusher  *tallyPusher
 	root    *rootMerge
 	standby *standbyControl
@@ -557,7 +607,7 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 		return nil, fmt.Errorf("max body %d bytes is below a single report frame", cfg.MaxBody)
 	}
 	switch cfg.Role {
-	case "", roleFrontend, roleRoot, roleStandby:
+	case "", roleFrontend, roleRoot, roleMerger, roleStandby:
 	default:
 		return nil, fmt.Errorf("unknown cluster role %q", cfg.Role)
 	}
@@ -573,10 +623,11 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 			cfg.StandbyPoll = 10 * time.Millisecond
 		}
 	}
-	if cfg.Role == roleFrontend {
-		// Frontends never identify targets: they see only their slice of
-		// the population, and a partition-local z-score would drift from
-		// the merged view. Detection runs on the root, over the union.
+	if cfg.Role == roleFrontend || cfg.Role == roleMerger {
+		// Frontends and interior mergers never identify targets: each
+		// sees only its subtree's slice of the population, and a
+		// partition-local z-score would drift from the merged view.
+		// Detection runs at the tree's root, over the full union.
 		cfg.Stream.TargetK = -1
 	}
 	mgr, err := ldprecover.NewEpochManager(cfg.Stream)
@@ -588,7 +639,7 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 		queue:       make(chan ingestBatch, cfg.QueueLen),
 		maxBody:     cfg.MaxBody,
 		fatalc:      make(chan error, 1),
-		sealOnDrain: cfg.Role != roleRoot && cfg.Role != roleStandby,
+		sealOnDrain: cfg.Role != roleRoot && cfg.Role != roleMerger && cfg.Role != roleStandby,
 	}
 	s.bufPool.New = func() any {
 		s.poolMisses.Add(1)
@@ -596,7 +647,7 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 		return &b
 	}
 	switch {
-	case cfg.Role == roleRoot:
+	case cfg.Role == roleRoot, cfg.Role == roleMerger:
 		var (
 			snaps *ldprecover.SnapshotStore
 			slog  *ldprecover.SealLog
@@ -605,16 +656,21 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 		if cfg.DataDir != "" {
 			// The lease first: a directory whose lease another root (or a
 			// promoted standby) is heartbeating must not be opened — two
-			// writers would fork the snapshot history.
-			lease, err = ldprecover.AcquireLease(cfg.DataDir, "root", cfg.PromoteAfter)
+			// writers would fork the snapshot history. A merger owns its
+			// lease under its node id: one data directory per tree node.
+			owner := "root"
+			if cfg.Role == roleMerger {
+				owner = cfg.NodeID
+			}
+			lease, err = ldprecover.AcquireLease(cfg.DataDir, owner, cfg.PromoteAfter)
 			if err != nil {
-				return nil, fmt.Errorf("-role=root with -data-dir %s: %w", cfg.DataDir, err)
+				return nil, fmt.Errorf("-role=%s with -data-dir %s: %w", cfg.Role, cfg.DataDir, err)
 			}
 			// Restore before the merger exists: the barrier resumes at
 			// the restored sealed-epoch watermark.
 			snaps, err = ldprecover.OpenSnapshotStore(cfg.DataDir, mgr, 0)
 			if err != nil {
-				return nil, errors.Join(fmt.Errorf("-role=root with -data-dir %s: %w", cfg.DataDir, err), lease.Release())
+				return nil, errors.Join(fmt.Errorf("-role=%s with -data-dir %s: %w", cfg.Role, cfg.DataDir, err), lease.Release())
 			}
 			if slog, err = ldprecover.OpenSealLog(cfg.DataDir); err != nil {
 				return nil, errors.Join(err, lease.Release())
@@ -631,7 +687,7 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 				if err := merger.SetMembership(members, sched); err != nil {
 					return nil, errors.Join(fmt.Errorf("restoring seal-log membership: %w", err), lease.Release())
 				}
-				fmt.Printf("root membership restored from seal-log: %v\n", members)
+				fmt.Printf("%s membership restored from seal-log: %v\n", cfg.Role, members)
 			}
 		}
 		s.root = newRootMerge(merger, snaps, slog, cfg.TallyTimeout, s.reportFatal)
@@ -639,6 +695,40 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 			s.root.startLease(lease, leaseHeartbeat(cfg.PromoteAfter))
 		}
 		s.sealFn = s.root.forceSeal
+		if cfg.Role == roleMerger {
+			// The upward half: every epoch this barrier seals is delivered
+			// to the parent as one merged tally under this merger's node
+			// id, at-least-once, after it has been persisted (the onSealed
+			// hook runs past the snapshot/seal-log writes) — so the parent
+			// never acks an epoch this node could forget. The queue bound
+			// is the ring's retention, as on a frontend.
+			urls := []string{cfg.RootAddr}
+			if cfg.StandbyAddr != "" {
+				urls = append(urls, cfg.StandbyAddr)
+			}
+			s.pusher = newTallyPusher(cfg.NodeID, urls, cfg.PushInterval, mgr.Config().History)
+			nodeID := cfg.NodeID
+			s.root.onSealed = func(epoch int) {
+				if eps := mgr.Epochs(); len(eps) > 0 {
+					last := eps[len(eps)-1]
+					if last.Seq == epoch {
+						s.pusher.enqueue(&ldprecover.Tally{
+							NodeID: nodeID, Epoch: last.Seq, Counts: last.Counts, Total: last.Total,
+						})
+					}
+				}
+			}
+			// At-least-once across restarts: re-send every retained merged
+			// epoch (the restored ring, on a durable merger); the parent
+			// dedupes what it has already merged. The merger's epoch clock
+			// is driven by its children, never resynced to the parent —
+			// skipping ahead would discard child tallies still en route.
+			for _, ep := range mgr.Epochs() {
+				s.pusher.enqueue(&ldprecover.Tally{
+					NodeID: nodeID, Epoch: ep.Seq, Counts: ep.Counts, Total: ep.Total,
+				})
+			}
+		}
 	case cfg.Role == roleStandby:
 		// Before cfg.DataDir: the standby's data dir is the *root's* —
 		// tailed read-only until promotion, never a report WAL.

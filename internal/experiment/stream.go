@@ -67,6 +67,16 @@ type StreamScenario struct {
 	// cluster matches the single-node run exactly. Requires
 	// Frontends > 1.
 	Churn []ChurnEvent
+	// Tree arranges the cluster as a two-level aggregation tree
+	// (DESIGN.md §9): entry i is the number of frontends under interior
+	// merger m-i, and the root merges the mergers' merged tallies
+	// instead of the frontends' directly. Each merger runs its own
+	// epoch manager (detection disabled — it sees only its subtree) and
+	// propagates every sealed epoch upward as one tally, so the root's
+	// per-epoch metrics stay bit-identical to the flat and single-node
+	// runs — TestRunStreamTreeEquivalence pins it. Empty runs flat;
+	// mutually exclusive with Frontends, Churn, and Presum.
+	Tree []int
 	// Presum splits each epoch's population across this many edge
 	// collectors (the tally-first ingest SDK, DESIGN.md §8): every
 	// partition folds locally through a Collector, flushes a wire-coded
@@ -154,6 +164,19 @@ func (s StreamScenario) validate() error {
 	}
 	if s.Presum > 1 && s.Frontends > 1 {
 		return fmt.Errorf("experiment: Presum partials feed a collecting node, not the cluster root; use one or the other")
+	}
+	if len(s.Tree) > 0 {
+		if s.Frontends > 1 || len(s.Churn) > 0 || s.Presum > 1 {
+			return fmt.Errorf("experiment: Tree replaces the flat cluster; it excludes Frontends, Churn, and Presum")
+		}
+		if len(s.Tree) > 1<<10 {
+			return fmt.Errorf("experiment: %d tree mergers outside [1, %d]", len(s.Tree), 1<<10)
+		}
+		for i, k := range s.Tree {
+			if k < 1 || k > 1<<10 {
+				return fmt.Errorf("experiment: tree merger %d has %d frontends outside [1, %d]", i, k, 1<<10)
+			}
+		}
 	}
 	for _, ev := range s.Churn {
 		if ev.Node == "" {
@@ -254,6 +277,50 @@ func RunStream(s StreamScenario) (*StreamMetrics, error) {
 		}
 	}
 
+	// Tree mode: each interior merger folds its subtree's tallies into
+	// its own manager (detection disabled, as on a -role=merger server —
+	// a subtree-local z-score would drift from the merged view) and the
+	// sealed result propagates upward as one tally, mirroring the
+	// serving tier's onSealed push.
+	type treeMerger struct {
+		id     string
+		mgr    *stream.EpochManager
+		sm     *stream.SealedMerger
+		leaves []string
+	}
+	var tree []treeMerger
+	if len(s.Tree) > 0 {
+		mergerIDs := make([]string, len(s.Tree))
+		tree = make([]treeMerger, len(s.Tree))
+		leaf := 0
+		for i, k := range s.Tree {
+			mergerIDs[i] = fmt.Sprintf("m-%d", i)
+			subMgr, err := stream.NewEpochManager(stream.Config{
+				Params:  proto.Params(),
+				Window:  1,
+				History: 1,
+				Eta:     s.Eta,
+				TargetK: -1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			leaves := make([]string, k)
+			for j := range leaves {
+				leaves[j] = fmt.Sprintf("fe-%d", leaf)
+				leaf++
+			}
+			subSM, err := stream.NewSealedMerger(subMgr, leaves)
+			if err != nil {
+				return nil, err
+			}
+			tree[i] = treeMerger{id: mergerIDs[i], mgr: subMgr, sm: subSM, leaves: leaves}
+		}
+		if merger, err = stream.NewSealedMerger(mgr, mergerIDs); err != nil {
+			return nil, err
+		}
+	}
+
 	// The churn schedule drains in epoch order; events sharing an epoch
 	// apply in the order given.
 	churn := append([]ChurnEvent(nil), s.Churn...)
@@ -339,6 +406,47 @@ func RunStream(s StreamScenario) (*StreamMetrics, error) {
 			}
 			if est, err = mgr.Seal(); err != nil {
 				return nil, err
+			}
+		} else if len(tree) > 0 {
+			// Two-level tree: the leaves' tallies fold at their merger,
+			// each merger's sealed epoch propagates upward as one tally,
+			// and the root's barrier completes over the mergers.
+			nLeaf := 0
+			for _, tm := range tree {
+				nLeaf += len(tm.leaves)
+			}
+			parts, totals := splitCounts(union, total, nLeaf)
+			leaf := 0
+			for _, tm := range tree {
+				for _, node := range tm.leaves {
+					if _, err := tm.sm.MergeSealed(&ldp.Tally{
+						NodeID: node, Epoch: e, Counts: parts[leaf], Total: totals[leaf],
+					}); err != nil {
+						return nil, err
+					}
+					leaf++
+				}
+				subEst, subInfo, err := tm.sm.TrySeal()
+				if err != nil {
+					return nil, err
+				}
+				if subEst == nil || len(subInfo.Missing) != 0 {
+					return nil, fmt.Errorf("experiment: epoch %d merger %s barrier incomplete (%+v)", e, tm.id, subInfo)
+				}
+				ring := tm.mgr.Epochs()
+				sealed := ring[len(ring)-1]
+				if _, err := merger.MergeSealed(&ldp.Tally{
+					NodeID: tm.id, Epoch: e, Counts: sealed.Counts, Total: sealed.Total,
+				}); err != nil {
+					return nil, err
+				}
+			}
+			var info *stream.MergedEpoch
+			if est, info, err = merger.TrySeal(); err != nil {
+				return nil, err
+			}
+			if est == nil || len(info.Missing) != 0 {
+				return nil, fmt.Errorf("experiment: epoch %d root barrier incomplete (%+v)", e, info)
 			}
 		} else {
 			parts, totals := splitCounts(union, total, len(feNodes))

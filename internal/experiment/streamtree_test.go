@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"ldprecover/internal/dataset"
+)
+
+// TestRunStreamTreeEquivalence pins the experiment-layer half of the
+// aggregation-tree guarantee: the same streaming scenario run through
+// two-level trees of different shapes — balanced, skewed, single-child
+// mergers — produces per-epoch metrics bit-identical to the single-node
+// pipeline. Interior mergers add a level of exact integer folding and
+// nothing else.
+func TestRunStreamTreeEquivalence(t *testing.T) {
+	ds, err := dataset.Zipf("tree-eq", 48, 30_000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := StreamScenario{
+		Dataset:     ds,
+		Protocol:    OUE,
+		Epsilon:     1,
+		NumTargets:  2,
+		Beta:        0.08,
+		Epochs:      10,
+		AttackStart: 5,
+		StableAfter: 2,
+		MinHistory:  2,
+		Seed:        99,
+	}
+	want, err := RunStream(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.StarEngagedAt < 0 {
+		t.Fatal("scenario never engaged LDPRecover*; the equivalence check is vacuous")
+	}
+	for _, tree := range [][]int{{3, 3}, {1, 4, 2}, {1}} {
+		s := base
+		s.Tree = tree
+		got, err := RunStream(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("tree %v stream diverged from single-node\ngot  %+v\nwant %+v", tree, got, want)
+		}
+	}
+}
+
+// TestRunStreamTreeValidation: the tree replaces the flat cluster and
+// must be well-formed.
+func TestRunStreamTreeValidation(t *testing.T) {
+	ds, err := dataset.Zipf("tree-val", 16, 1_000, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := StreamScenario{Dataset: ds, Protocol: OUE, Epochs: 2, AttackStart: 2}
+	for name, mut := range map[string]func(*StreamScenario){
+		"tree-with-frontends": func(s *StreamScenario) { s.Tree = []int{2}; s.Frontends = 3 },
+		"tree-with-presum":    func(s *StreamScenario) { s.Tree = []int{2}; s.Presum = 2 },
+		"tree-empty-merger":   func(s *StreamScenario) { s.Tree = []int{2, 0} },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := base
+			mut(&s)
+			if _, err := RunStream(s); err == nil {
+				t.Fatalf("malformed tree scenario accepted: %+v", s.Tree)
+			}
+		})
+	}
+}

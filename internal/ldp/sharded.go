@@ -161,6 +161,15 @@ func (sa *ShardedAccumulator) Merge(other *ShardedAccumulator) error {
 	return sa.AddCounts(snap.counts, snap.total)
 }
 
+// Mutations returns the accumulator's mutation generation: a counter
+// bumped after every completed ingest, reset, or seal. Callers that
+// record the generation at one point can later ask, in O(1), whether
+// anything has touched the accumulator since — the stream layer's
+// sealed-counts hand-off uses it to skip the O(shards·d) live merge
+// when the live accumulator is provably untouched (a root or merger
+// node never ingests raw reports, so it always is).
+func (sa *ShardedAccumulator) Mutations() uint64 { return sa.gen.Load() }
+
 // Total returns the number of reports folded in so far. It sums the
 // per-shard totals directly — O(shards), no count merge — so monitoring
 // loops can poll it during continuous ingest without paying merged()'s

@@ -68,18 +68,30 @@ func (t *Tally) Merge(other *Tally) error {
 	if other == nil {
 		return fmt.Errorf("%w: merging a nil tally", ErrCodec)
 	}
-	if len(other.Counts) != len(t.Counts) {
+	return other.MergeInto(t)
+}
+
+// MergeInto folds this tally into acc — the direction the merge tree's
+// accept path uses: the incoming tally is the receiver, the per-epoch
+// accumulated tally the argument, and the incoming counts are never
+// retained. The fold is exact int64 addition, so any grouping of
+// MergeInto/Merge calls over the same tallies produces the same bits.
+func (t *Tally) MergeInto(acc *Tally) error {
+	if acc == nil {
+		return fmt.Errorf("%w: merging into a nil tally", ErrCodec)
+	}
+	if len(t.Counts) != len(acc.Counts) {
 		return fmt.Errorf("%w: merging tallies over domains %d and %d",
-			ErrCodec, len(other.Counts), len(t.Counts))
+			ErrCodec, len(t.Counts), len(acc.Counts))
 	}
-	if other.Epoch != t.Epoch {
+	if t.Epoch != acc.Epoch {
 		return fmt.Errorf("%w: merging tallies for epochs %d and %d",
-			ErrCodec, other.Epoch, t.Epoch)
+			ErrCodec, t.Epoch, acc.Epoch)
 	}
-	for v, c := range other.Counts {
-		t.Counts[v] += c
+	for v, c := range t.Counts {
+		acc.Counts[v] += c
 	}
-	t.Total += other.Total
+	acc.Total += t.Total
 	return nil
 }
 

@@ -1,0 +1,74 @@
+package ldp
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Chunk-parallel tally merging, the fold the merge tree's accept path
+// runs on every arriving tally (merge-on-arrival, DESIGN.md §9). The
+// counts vector splits into disjoint contiguous chunks handed to a
+// small worker pool — the same shape as ShardedAccumulator's per-shard
+// parallelism, minus the locks: chunks never overlap, so the folds are
+// race-free by construction and the result is bit-identical to the
+// sequential MergeInto whatever the worker count.
+const (
+	// parallelMergeMin is the domain size below which MergeParallel
+	// stays sequential: under ~32K int64 adds the fold is a few
+	// microseconds and goroutine handoff would dominate.
+	parallelMergeMin = 1 << 15
+	// parallelMergeGrain is the minimum chunk per worker, so a domain
+	// just over the threshold does not shatter into sub-cache-line
+	// slivers across many cores.
+	parallelMergeGrain = 1 << 13
+)
+
+// MergeParallel folds this tally into acc exactly like MergeInto,
+// splitting the counts vector across a worker pool when the domain and
+// GOMAXPROCS make that worthwhile. On a single-core box it degrades to
+// the plain sequential fold — still the accept path's win over the
+// previous clone-at-accept + re-merge-at-seal scheme, which paid an
+// extra O(d) copy and a second O(d) pass per tally; with more cores the
+// chunks fold concurrently on top of that.
+func (t *Tally) MergeParallel(acc *Tally) error {
+	return t.mergeParallelInto(acc, runtime.GOMAXPROCS(0))
+}
+
+// mergeParallelInto is MergeParallel with an explicit worker count, the
+// hook the sequential-identical property test uses to force real
+// chunking regardless of the host's core count.
+func (t *Tally) mergeParallelInto(acc *Tally, workers int) error {
+	if acc == nil {
+		return t.MergeInto(acc) // shared validation error
+	}
+	d := len(t.Counts)
+	if workers > 1 && d >= parallelMergeMin {
+		if max := d / parallelMergeGrain; workers > max {
+			workers = max
+		}
+	}
+	if workers <= 1 || d < parallelMergeMin {
+		return t.MergeInto(acc)
+	}
+	if d != len(acc.Counts) || t.Epoch != acc.Epoch {
+		return t.MergeInto(acc) // shared validation error
+	}
+	chunk := (d + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < d; lo += chunk {
+		hi := lo + chunk
+		if hi > d {
+			hi = d
+		}
+		wg.Add(1)
+		go func(src, dst []int64) {
+			defer wg.Done()
+			for v, c := range src {
+				dst[v] += c
+			}
+		}(t.Counts[lo:hi], acc.Counts[lo:hi])
+	}
+	wg.Wait()
+	acc.Total += t.Total
+	return nil
+}

@@ -17,6 +17,13 @@
 // to an uninterrupted run: support counting is additive, so re-applying
 // the live epoch's batches in any order reproduces the same counts, and
 // recovery itself is deterministic.
+//
+// The merging tiers reuse the same blocks without the WAL: roots and
+// interior mergers (-role=merger, DESIGN.md §9) persist per-seal
+// SnapshotStore snapshots plus a SealLog of sealed epochs and
+// membership changes — their inputs are re-sent by the tier below
+// until the persisted watermark covers them, so a log of individual
+// tallies would be redundant.
 package persist
 
 import (

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"maps"
 	"slices"
 	"sort"
 	"sync"
@@ -49,10 +50,14 @@ type SealedMerger struct {
 }
 
 // pendingEpoch accumulates one epoch's tallies ahead of its barrier.
+// Arriving tallies fold straight into acc (merge-on-arrival): nothing
+// of a tally is retained beyond its contribution to the accumulated
+// counts and its (node, report-total) accounting entry, so accepting a
+// tally allocates nothing after the epoch's first and sealing is a
+// hand-off, not a re-merge.
 type pendingEpoch struct {
-	counts []int64
-	total  int64
-	nodes  map[string]bool
+	acc   *ldp.Tally
+	nodes map[string]int64 // node id → that tally's report total
 }
 
 // MemberChange is one scheduled membership change: from epoch Epoch on,
@@ -80,6 +85,10 @@ type MergedEpoch struct {
 	Nodes []string
 	// Missing are the expected frontends absent at seal time, sorted.
 	Missing []string
+	// NodeTotals maps each merged node to the report total its tally
+	// carried — the per-child accounting that survives merge-on-arrival
+	// (the counts themselves fold away immediately).
+	NodeTotals map[string]int64
 	// Total is the merged report count.
 	Total int64
 	// Duplicates counts deduped submissions observed for this epoch,
@@ -93,6 +102,7 @@ type MergedEpoch struct {
 func (m MergedEpoch) clone() MergedEpoch {
 	m.Nodes = slices.Clone(m.Nodes)
 	m.Missing = slices.Clone(m.Missing)
+	m.NodeTotals = maps.Clone(m.NodeTotals)
 	return m
 }
 
@@ -354,7 +364,7 @@ func (sm *SealedMerger) Leave(node string, from int) (effective int, ready bool,
 	// Never retire epochs the node has already contributed to: a tally
 	// sitting at (or past) the barrier merges under the old membership.
 	for e, pe := range sm.pending {
-		if pe.nodes[node] && e >= effective {
+		if _, has := pe.nodes[node]; has && e >= effective {
 			effective = e + 1
 		}
 	}
@@ -430,19 +440,25 @@ func (sm *SealedMerger) MergeSealed(t *ldp.Tally) (SubmitResult, error) {
 	}
 	pe := sm.pending[t.Epoch]
 	if pe == nil {
-		pe = &pendingEpoch{counts: make([]int64, len(t.Counts)), nodes: make(map[string]bool, len(sm.expected))}
+		pe = &pendingEpoch{
+			acc:   &ldp.Tally{Epoch: t.Epoch, Counts: make([]int64, len(t.Counts))},
+			nodes: make(map[string]int64, len(sm.expected)+1),
+		}
 		sm.pending[t.Epoch] = pe
 	}
-	if pe.nodes[t.NodeID] {
+	if _, seen := pe.nodes[t.NodeID]; seen {
 		sm.dupes++
 		res.Duplicate = true
 		return res, nil
 	}
-	pe.nodes[t.NodeID] = true
-	for v, c := range t.Counts {
-		pe.counts[v] += c
+	// Merge-on-arrival: fold the tally into the epoch's accumulator now
+	// (chunk-parallel above the domain threshold) and keep only its
+	// accounting entry — the seal becomes a hand-off instead of a
+	// re-merge, and nothing else of the tally is retained.
+	if err := t.MergeParallel(pe.acc); err != nil {
+		return res, err
 	}
-	pe.total += t.Total
+	pe.nodes[t.NodeID] = t.Total
 	res.Ready = sm.barrierCompleteLocked()
 	return res, nil
 }
@@ -468,7 +484,7 @@ func (sm *SealedMerger) barrierCompleteLocked() bool {
 		return false
 	}
 	for _, n := range sm.expected {
-		if !pe.nodes[n] {
+		if _, has := pe.nodes[n]; !has {
 			return false
 		}
 	}
@@ -508,25 +524,31 @@ func (sm *SealedMerger) SealPartial() (*WindowEstimate, *MergedEpoch, error) {
 // the retained state.
 func (sm *SealedMerger) sealNextLocked() (*WindowEstimate, *MergedEpoch, error) {
 	info := MergedEpoch{Epoch: sm.next}
+	var est *WindowEstimate
+	var err error
 	if pe := sm.pending[sm.next]; pe != nil {
-		if err := sm.mgr.AddCounts(pe.counts, pe.total); err != nil {
-			return nil, nil, err
-		}
-		info.Total = pe.total
-		for n := range pe.nodes {
+		info.Total = pe.acc.Total
+		info.NodeTotals = make(map[string]int64, len(pe.nodes))
+		for n, ut := range pe.nodes {
 			info.Nodes = append(info.Nodes, n)
+			info.NodeTotals[n] = ut
 		}
 		sort.Strings(info.Nodes)
 		delete(sm.pending, sm.next)
+		// The tallies already merged on arrival; hand the finished
+		// vector to the manager in O(1) instead of re-folding it
+		// through the live accumulator.
+		est, err = sm.mgr.SealCounts(pe.acc.Counts, pe.acc.Total)
+	} else {
+		est, err = sm.mgr.Seal()
+	}
+	if err != nil {
+		return nil, nil, err
 	}
 	for _, n := range sm.expected {
 		if !slices.Contains(info.Nodes, n) {
 			info.Missing = append(info.Missing, n)
 		}
-	}
-	est, err := sm.mgr.Seal()
-	if err != nil {
-		return nil, nil, err
 	}
 	sm.next++
 	sm.applyScheduleLocked()
@@ -563,7 +585,11 @@ func (sm *SealedMerger) PendingNodes() map[string]bool {
 	out := make(map[string]bool, len(sm.expected))
 	pe := sm.pending[sm.next]
 	for _, n := range sm.expected {
-		out[n] = pe != nil && pe.nodes[n]
+		var has bool
+		if pe != nil {
+			_, has = pe.nodes[n]
+		}
+		out[n] = has
 	}
 	return out
 }

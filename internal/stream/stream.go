@@ -215,6 +215,12 @@ type EpochManager struct {
 	tracker   *detect.TargetTracker
 	sealed    int64 // reports in sealed epochs (for IngestedTotal)
 	latest    *WindowEstimate
+
+	// liveGen is the live accumulator's mutation generation as of the
+	// last seal — the O(1) dirty check behind SealCounts' hand-off. It
+	// is tracked conservatively (see Seal): a mismatch may mean "maybe
+	// dirty", but equality always means the live epoch is empty.
+	liveGen uint64
 }
 
 // NewEpochManager builds a streaming manager from the configuration.
@@ -283,13 +289,62 @@ func (m *EpochManager) SealedWatermark() int {
 func (m *EpochManager) Seal() (*WindowEstimate, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	counts, total := m.sealLiveLocked()
+	return m.sealLocked(counts, total)
+}
+
+// SealCounts closes the open epoch with a pre-merged aggregate, taking
+// ownership of counts — the merge tree's O(1) hand-off: a root or
+// merger node accumulates arriving tallies on its own (merge-on-
+// arrival) and seals the finished vector directly, instead of paying
+// AddCounts' O(d) re-fold into the live accumulator plus SealEpoch's
+// O(shards·d) re-merge back out. The live accumulator is still honored:
+// if anything has been ingested since the last seal (never, on a node
+// that only merges tallies — an O(1) generation check), the live epoch
+// is sealed and folded in, so SealCounts is bit-identical to
+// AddCounts + Seal in every case.
+func (m *EpochManager) SealCounts(counts []int64, total int64) (*WindowEstimate, error) {
+	if len(counts) != m.cfg.Params.Domain {
+		return nil, fmt.Errorf("stream: sealing %d counts over domain %d",
+			len(counts), m.cfg.Params.Domain)
+	}
+	if total < 0 {
+		return nil, fmt.Errorf("stream: sealing a negative report total %d", total)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.live.Mutations() != m.liveGen {
+		liveCounts, liveTotal := m.sealLiveLocked()
+		for v, c := range liveCounts {
+			counts[v] += c
+		}
+		total += liveTotal
+	}
+	return m.sealLocked(counts, total)
+}
+
+// sealLiveLocked swaps the live epoch out of the accumulator and
+// re-records its mutation generation. The capture is conservative: gen
+// is read before the swap and the seal's own bump added, so ingest
+// racing the seal can only make a later generation check read "maybe
+// dirty" (a harmless empty fold), never "clean" while live data exists.
+// Callers hold m.mu.
+func (m *EpochManager) sealLiveLocked() ([]int64, int64) {
+	preGen := m.live.Mutations()
+	sealed := m.live.SealEpoch()
+	m.liveGen = preGen + 1
+	return sealed.Counts(), sealed.Total()
+}
+
+// sealLocked appends the closed epoch to the ring, advances the window,
+// and runs estimation — the shared tail of Seal and SealCounts. It
+// takes ownership of counts. Callers hold m.mu.
+func (m *EpochManager) sealLocked(counts []int64, total int64) (*WindowEstimate, error) {
 	// Sealing under m.mu never blocks ingest (ingest takes only the
 	// accumulator's shard locks) and keeps Stats consistent: the sealed
 	// epoch moves from the live tally into m.sealed atomically with
 	// respect to any m.mu reader.
-	sealed := m.live.SealEpoch()
-
-	ep := Epoch{Seq: m.seq, Counts: sealed.Counts(), Total: sealed.Total()}
+	ep := Epoch{Seq: m.seq, Counts: counts, Total: total}
 	m.seq++
 	m.sealed += ep.Total
 	m.ring = append(m.ring, ep)
