@@ -1,0 +1,158 @@
+// Command ldplint runs the project's invariant analyzers (DESIGN.md
+// §10) over Go packages. It works two ways:
+//
+// Standalone, over go-list patterns (the Makefile's lint target):
+//
+//	ldplint ./...
+//	ldplint -json -nowallclock=false ./internal/ldp
+//
+// As a go vet tool, speaking vet's unitchecker protocol — -V=full,
+// -flags, then one <package>.cfg per package:
+//
+//	go vet -vettool=$(pwd)/.bin/ldplint ./...
+//
+// Exit status: 0 clean, 1 operational failure, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"ldprecover/internal/lint"
+	"ldprecover/internal/lint/analysis"
+	"ldprecover/internal/lint/load"
+)
+
+func main() {
+	// go vet probes the tool before handing it work. These two flags
+	// must be handled before normal flag parsing (they are go vet's,
+	// not ours).
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		printVersion()
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		// No tool-level flags are exposed through vet; analyzers are
+		// selected in standalone mode only.
+		fmt.Println("[]")
+		return
+	}
+
+	enabled := make(map[string]*bool, len(lint.Analyzers()))
+	for _, a := range lint.Analyzers() {
+		enabled[a.Name] = flag.Bool(a.Name, true, "run the "+a.Name+" analyzer: "+a.Doc)
+	}
+	jsonOut := flag.Bool("json", false, "print findings as JSON")
+	listOnly := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var analyzers []*analysis.Analyzer
+	for _, a := range lint.Analyzers() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(os.Stderr, "ldplint: every analyzer is disabled")
+		os.Exit(1)
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVet(args[0], analyzers))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(runStandalone(args, analyzers, *jsonOut))
+}
+
+// printVersion implements -V=full: an identifier that changes when the
+// tool's behavior might, so go vet's result cache never serves stale
+// findings. Hashing the executable covers both source and toolchain
+// changes.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("ldplint version %x\n", h.Sum(nil)[:16])
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldplint:", err)
+		return 1
+	}
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldplint:", err)
+		return 1
+	}
+	var findings []finding
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(&pkg.Package, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ldplint: %s: %v\n", pkg.ImportPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			findings = append(findings, finding{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		return findings[i].Line < findings[j].Line
+	})
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "ldplint:", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildTool compiles the ldplint binary into a temp dir once per test.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "ldplint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building ldplint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, dir string, name string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, buf.String())
+		}
+		code = ee.ExitCode()
+	}
+	return buf.String(), code
+}
+
+// seedViolation writes a scratch module holding a noalias violation: a
+// mutex-guarded type whose exported method returns its internal slice.
+func seedViolation(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if out, code := run(t, dir, "go", "mod", "init", "scratch"); code != 0 {
+		t.Fatalf("go mod init: %s", out)
+	}
+	src := `package scratch
+
+import "sync"
+
+type Box struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (b *Box) Items() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.items
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "box.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestStandaloneCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the module; skipped with -short")
+	}
+	bin := buildTool(t)
+	out, code := run(t, "../..", bin, "./...")
+	if code != 0 {
+		t.Fatalf("ldplint ./... on the repo: exit %d\n%s", code, out)
+	}
+}
+
+func TestStandaloneFailsOnSeededViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles scratch modules; skipped with -short")
+	}
+	bin := buildTool(t)
+	dir := seedViolation(t)
+
+	out, code := run(t, dir, bin, "./...")
+	if code != 2 {
+		t.Fatalf("seeded violation: exit %d, want 2\n%s", code, out)
+	}
+	if !bytes.Contains([]byte(out), []byte("noalias")) {
+		t.Fatalf("output does not name the noalias analyzer:\n%s", out)
+	}
+
+	// Disabling the analyzer must clear the finding.
+	out, code = run(t, dir, bin, "-noalias=false", "./...")
+	if code != 0 {
+		t.Fatalf("with -noalias=false: exit %d, want 0\n%s", code, out)
+	}
+
+	// JSON mode reports the same finding, machine-readably.
+	out, code = run(t, dir, bin, "-json", "./...")
+	if code != 2 {
+		t.Fatalf("-json seeded violation: exit %d, want 2\n%s", code, out)
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("parsing -json output: %v\n%s", err, out)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "noalias" {
+		t.Fatalf("unexpected findings: %+v", findings)
+	}
+}
+
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles scratch modules; skipped with -short")
+	}
+	bin := buildTool(t)
+
+	// The probe handshake go vet performs first.
+	out, code := run(t, ".", bin, "-V=full")
+	if code != 0 || !bytes.HasPrefix([]byte(out), []byte("ldplint version ")) {
+		t.Fatalf("-V=full handshake: exit %d, output %q", code, out)
+	}
+	out, code = run(t, ".", bin, "-flags")
+	if code != 0 {
+		t.Fatalf("-flags handshake: exit %d, output %q", code, out)
+	}
+
+	dir := seedViolation(t)
+	out, code = run(t, dir, "go", "vet", "-vettool="+bin, "./...")
+	if code == 0 {
+		t.Fatalf("go vet -vettool on seeded violation: exit 0\n%s", out)
+	}
+	if !bytes.Contains([]byte(out), []byte("noalias")) {
+		t.Fatalf("go vet output does not name the noalias analyzer:\n%s", out)
+	}
+}

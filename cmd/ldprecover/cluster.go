@@ -148,7 +148,8 @@ func newTallyPusher(nodeID string, urls []string, interval time.Duration, maxPen
 		interval:     interval,
 		maxPending:   maxPending,
 		flushTimeout: shutdownFlushTimeout,
-		backoffRng:   rand.New(rand.NewSource(int64(seed.Sum64()))),
+		//ldplint:allow nowallclock push-retry jitter seeded from the node-ID hash; never in the replay path
+		backoffRng: rand.New(rand.NewSource(int64(seed.Sum64()))),
 		runCtx:       ctx,
 		runCancel:    cancel,
 		kick:         make(chan struct{}, 1),
@@ -223,6 +224,7 @@ func (p *tallyPusher) loop() {
 			p.finalFlush()
 			return
 		case <-p.kick:
+		//ldplint:allow nowallclock push-loop retry pacing; estimates never depend on it
 		case <-time.After(backoff):
 		}
 		if p.pushAll(p.runCtx) {
@@ -264,6 +266,7 @@ func (p *tallyPusher) finalFlush() {
 			return
 		}
 		select {
+		//ldplint:allow nowallclock shutdown flush retry pacing
 		case <-time.After(100 * time.Millisecond):
 		case <-ctx.Done():
 			return
@@ -463,6 +466,7 @@ func (r *rootMerge) startLease(l *ldprecover.Lease, interval time.Duration) {
 	r.leaseWG.Add(1)
 	go func() {
 		defer r.leaseWG.Done()
+		//ldplint:allow nowallclock lease heartbeat is wall-clock liveness by design
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {
@@ -635,6 +639,7 @@ func (r *rootMerge) armTimerLocked() {
 		return
 	}
 	armedFor := r.merger.SealedThrough()
+	//ldplint:allow nowallclock straggler timeout arms the barrier's partial-epoch seal; a liveness bound, not a fold input
 	r.timer = time.AfterFunc(r.timeout, func() {
 		r.mu.Lock()
 		r.timer = nil
@@ -742,7 +747,9 @@ func (c *standbyControl) start() {
 // rootMerge takes over) or when the server shuts down.
 func (c *standbyControl) loop() {
 	defer c.wg.Done()
+	//ldplint:allow nowallclock standby health watch is wall-clock liveness by design
 	lastHealthy := time.Now()
+	//ldplint:allow nowallclock standby poll ticker is wall-clock liveness by design
 	t := time.NewTicker(c.pollEvery)
 	defer t.Stop()
 	for {
@@ -755,9 +762,11 @@ func (c *standbyControl) loop() {
 			fmt.Printf("standby %q: tailing snapshots: %v\n", c.owner, err)
 		}
 		if c.rootHealthy() {
+			//ldplint:allow nowallclock standby health watch is wall-clock liveness by design
 			lastHealthy = time.Now()
 			continue
 		}
+		//ldplint:allow nowallclock promotion delay is a wall-clock liveness bound
 		if time.Since(lastHealthy) < c.promoteAfter {
 			continue
 		}

@@ -178,6 +178,7 @@ func runServe(args []string) error {
 		// Roots and standbys have no epoch ticker: their epochs close on
 		// the frontends' shared clock, via tally barriers and the
 		// straggler timeout.
+		//ldplint:allow nowallclock the epoch ticker IS the cluster's shared epoch clock
 		ticker = time.NewTicker(*epoch)
 		tick = ticker.C
 		defer ticker.Stop()
@@ -821,6 +822,7 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 			if jt <= 0 {
 				jt = 30 * time.Second
 			}
+			//ldplint:allow nowallclock join deadline bounds startup, not any deterministic path
 			deadline := time.Now().Add(jt)
 			for {
 				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -831,6 +833,7 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 					fmt.Printf("frontend %q joined: contributing from epoch %d\n", nodeID, ar.Effective)
 					break
 				}
+				//ldplint:allow nowallclock join deadline bounds startup, not any deterministic path
 				if time.Now().After(deadline) {
 					errs := errors.Join(fmt.Errorf("joining the cluster via %s: %w", s.pusher.url(), err), s.pusher.close())
 					if s.store != nil {
@@ -838,6 +841,7 @@ func newStreamServer(cfg streamServerConfig) (*streamServer, error) {
 					}
 					return nil, errs
 				}
+				//ldplint:allow nowallclock join retry backoff during startup
 				time.Sleep(200 * time.Millisecond)
 			}
 		}

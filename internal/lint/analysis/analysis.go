@@ -1,0 +1,126 @@
+// Package analysis is a minimal, dependency-free re-implementation of
+// the golang.org/x/tools/go/analysis surface the ldplint suite needs.
+//
+// The real go/analysis framework lives outside the standard library,
+// and this repository builds offline with no module dependencies, so
+// the suite carries its own core: an Analyzer is a named check with a
+// Run function, a Pass hands it one type-checked package, and
+// diagnostics are plain (position, message) pairs. The API is shaped
+// so the analyzers would port to x/tools go/analysis nearly verbatim
+// if the dependency ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //ldplint:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph invariant statement `ldplint help` and
+	// the -flags protocol print.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Pos
+	// Message states the violated invariant at this site.
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// suppress holds the package's //ldplint:allow directives; nil
+	// means nothing is suppressed.
+	suppress *Suppressions
+	// sink receives every non-suppressed diagnostic.
+	sink func(Diagnostic)
+}
+
+// Reportf records a finding at pos unless an //ldplint:allow directive
+// for this analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppress != nil && p.suppress.Covers(p.Analyzer.Name, p.Fset.Position(pos)) {
+		return
+	}
+	p.sink(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Package is the loader-agnostic input to Run: a parsed and
+// type-checked package. Both the go-list-backed loader (internal/
+// lint/load) and the fixture loader (internal/lint/linttest) produce
+// it.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Run applies each analyzer to the package and returns the combined
+// diagnostics sorted by position. Directive parse errors (a malformed
+// //ldplint:allow) are reported under the pseudo-analyzer name
+// "ldplint" so a bad suppression can never silently widen its reach.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	// Test files are out of scope: the invariants govern production
+	// code, and tests deliberately sleep, drop teardown errors, and
+	// poke at internals. (The standalone loader never sees them; the
+	// go vet driver does.)
+	files := make([]*ast.File, 0, len(pkg.Files))
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	sup, diags := ParseSuppressions(pkg.Fset, files, known)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			suppress:  sup,
+			sink:      func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The allowlist directive, in the //lint:ignore style:
+//
+//	//ldplint:allow <analyzer> <justification>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above it. The justification is mandatory: a suppression
+// without a recorded reason is itself a finding, because the whole
+// point of the allowlist is that every intentional exception to an
+// invariant is written down next to the code that takes it.
+const directivePrefix = "//ldplint:allow"
+
+// Suppressions indexes the //ldplint:allow directives of one package.
+type Suppressions struct {
+	// byLine maps file:line to the analyzer names allowed there.
+	byLine map[lineKey]map[string]bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Covers reports whether a directive for analyzer covers the position.
+func (s *Suppressions) Covers(analyzer string, pos token.Position) bool {
+	if s == nil {
+		return false
+	}
+	return s.byLine[lineKey{pos.Filename, pos.Line}][analyzer]
+}
+
+// ParseSuppressions collects every //ldplint:allow directive in files.
+// Malformed directives — a missing analyzer name, an analyzer the
+// suite does not know, or a missing justification — are returned as
+// diagnostics under the pseudo-analyzer "ldplint" instead of being
+// silently ignored or silently applied.
+func ParseSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) (*Suppressions, []Diagnostic) {
+	s := &Suppressions{byLine: make(map[lineKey]map[string]bool)}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //ldplint:allowother — not ours.
+					continue
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{Analyzer: "ldplint", Pos: c.Pos(),
+						Message: "ldplint:allow directive without an analyzer name"})
+					continue
+				}
+				name := fields[0]
+				if known != nil && !known[name] {
+					bad = append(bad, Diagnostic{Analyzer: "ldplint", Pos: c.Pos(),
+						Message: "ldplint:allow names unknown analyzer " + name})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{Analyzer: "ldplint", Pos: c.Pos(),
+						Message: "ldplint:allow " + name + " needs a justification"})
+					continue
+				}
+				// The directive covers its own line (end-of-line form)
+				// and the next line (own-line form). Covering both is
+				// harmless: the analyzer name still has to match.
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := lineKey{pos.Filename, line}
+					if s.byLine[k] == nil {
+						s.byLine[k] = make(map[string]bool)
+					}
+					s.byLine[k][name] = true
+				}
+			}
+		}
+	}
+	return s, bad
+}

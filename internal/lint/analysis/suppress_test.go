@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func TestDirectiveCoversOwnAndNextLine(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+func f() int {
+	//ldplint:allow noalias pooled buffer ownership transfers
+	return 1
+}
+`)
+	sup, diags := ParseSuppressions(fset, []*ast.File{f}, map[string]bool{"noalias": true})
+	if len(diags) != 0 {
+		t.Fatalf("well-formed directive produced diagnostics: %v", diags)
+	}
+	for _, line := range []int{4, 5} {
+		if !sup.Covers("noalias", token.Position{Filename: "fixture.go", Line: line}) {
+			t.Errorf("directive does not cover line %d", line)
+		}
+	}
+	if sup.Covers("noalias", token.Position{Filename: "fixture.go", Line: 6}) {
+		t.Error("directive leaked past the next line")
+	}
+	if sup.Covers("failstop", token.Position{Filename: "fixture.go", Line: 5}) {
+		t.Error("directive for noalias covered failstop")
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	cases := []struct {
+		name    string
+		comment string
+		wantMsg string
+	}{
+		{"no analyzer", "//ldplint:allow", "without an analyzer name"},
+		{"unknown analyzer", "//ldplint:allow bogus because reasons", "unknown analyzer bogus"},
+		{"no justification", "//ldplint:allow noalias", "needs a justification"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, f := parseOne(t, "package p\n\n"+tc.comment+"\nvar x int\n")
+			sup, diags := ParseSuppressions(fset, []*ast.File{f}, map[string]bool{"noalias": true})
+			if len(diags) != 1 {
+				t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+			}
+			if diags[0].Analyzer != "ldplint" {
+				t.Errorf("diagnostic attributed to %q, want pseudo-analyzer ldplint", diags[0].Analyzer)
+			}
+			if !strings.Contains(diags[0].Message, tc.wantMsg) {
+				t.Errorf("message %q does not mention %q", diags[0].Message, tc.wantMsg)
+			}
+			if sup.Covers("noalias", token.Position{Filename: "fixture.go", Line: 4}) {
+				t.Error("malformed directive still suppressed the next line")
+			}
+		})
+	}
+}
+
+func TestUnrelatedDirectivePrefixIgnored(t *testing.T) {
+	fset, f := parseOne(t, "package p\n\n//ldplint:allowlist is a different word\nvar x int\n")
+	_, diags := ParseSuppressions(fset, []*ast.File{f}, nil)
+	if len(diags) != 0 {
+		t.Fatalf("non-directive comment produced diagnostics: %v", diags)
+	}
+}

@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"testing"
+
+	"ldprecover/internal/lint/analysis"
+	"ldprecover/internal/lint/load"
+)
+
+// TestRepoIsClean runs the full ldplint suite over the real tree and
+// fails on any finding: the invariants the analyzers enforce are
+// supposed to hold everywhere, with every intentional exception
+// already carrying its //ldplint:allow directive.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped with -short")
+	}
+	pkgs, err := load.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader matched no packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(&pkg.Package, Analyzers())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}

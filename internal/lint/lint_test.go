@@ -1,0 +1,29 @@
+package lint
+
+import (
+	"testing"
+
+	"ldprecover/internal/lint/linttest"
+)
+
+func TestCodecbounds(t *testing.T) {
+	linttest.Run(t, "testdata", Codecbounds, "codecbounds", "codecbounds/nocrc")
+}
+
+func TestNoalias(t *testing.T) {
+	linttest.Run(t, "testdata", Noalias, "noalias")
+}
+
+func TestExactfold(t *testing.T) {
+	linttest.Run(t, "testdata", Exactfold,
+		"exactfold/ldp", "exactfold/stream", "exactfold/persist")
+}
+
+func TestFailstop(t *testing.T) {
+	linttest.Run(t, "testdata", Failstop, "failstop")
+}
+
+func TestNowallclock(t *testing.T) {
+	linttest.Run(t, "testdata", Nowallclock,
+		"nowallclock", "ldprecover/examples/demo")
+}

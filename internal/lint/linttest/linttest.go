@@ -1,0 +1,223 @@
+// Package linttest runs ldplint analyzers over fixture packages, in
+// the style of golang.org/x/tools/go/analysis/analysistest: fixture
+// sources live under testdata/src/<import-path>/, and every line that
+// should trigger a finding carries a
+//
+//	// want "regexp"
+//
+// comment (several quoted regexps may follow one want). The test fails
+// on any diagnostic without a matching want and on any want without a
+// matching diagnostic, so fixtures pin both the positive and the
+// negative behavior of each analyzer.
+//
+// Fixture imports resolve in two steps: an import path that exists as
+// a directory under testdata/src is loaded (and analyzed types become
+// visible to the importer, so fixtures can fake e.g. a persist
+// package), anything else goes to the standard library via the source
+// importer — which needs no compiled export data and therefore works
+// in this repository's offline build.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ldprecover/internal/lint/analysis"
+)
+
+// Run loads each fixture package and checks the analyzer's diagnostics
+// (plus any "ldplint" directive diagnostics) against its want
+// expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run(&pkg.Package, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkExpectations(t, path, l.fset, pkg.Files, diags)
+	}
+}
+
+// loader type-checks fixture packages with an importer that prefers
+// testdata/src and falls back to the standard library.
+type loader struct {
+	srcDir string
+	fset   *token.FileSet
+	std    types.Importer
+	cache  map[string]*fixturePkg
+}
+
+type fixturePkg struct {
+	analysis.Package
+}
+
+func newLoader(srcDir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		srcDir: srcDir,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		cache:  make(map[string]*fixturePkg),
+	}
+}
+
+// Import implements types.Importer over the two-step resolution.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if fp, err := l.load(path); err == nil {
+		return fp.Types, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the fixture package at srcDir/path. A
+// missing directory returns an os.IsNotExist error so Import can fall
+// back to the standard library.
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if fp, ok := l.cache[path]; ok {
+		return fp, nil
+	}
+	dir := filepath.Join(l.srcDir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture %s: no .go files in %s", path, dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing fixture %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	fp := &fixturePkg{Package: analysis.Package{
+		Fset:  l.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}}
+	l.cache[path] = fp
+	return fp, nil
+}
+
+// expectation is one parsed want clause.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, path string, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				exps = append(exps, parseWant(t, fset, c)...)
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.file == pos.Filename && e.line == pos.Line && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic in %s: [%s] %s", pos, path, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched %q", e.file, e.line, e.re)
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps from a // want comment.
+func parseWant(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return nil
+	}
+	text, ok = strings.CutPrefix(strings.TrimSpace(text), "want ")
+	if !ok {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var exps []*expectation
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Errorf("%s: malformed want comment %q: %v", pos, c.Text, err)
+			return exps
+		}
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			t.Errorf("%s: malformed want pattern %q: %v", pos, q, err)
+			return exps
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Errorf("%s: want pattern %q does not compile: %v", pos, pat, err)
+			return exps
+		}
+		exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, re: re})
+		rest = strings.TrimSpace(rest[len(q):])
+	}
+	if len(exps) == 0 {
+		t.Errorf("%s: want comment with no patterns: %q", pos, c.Text)
+	}
+	return exps
+}

@@ -1,0 +1,180 @@
+// Package load turns package patterns into type-checked packages for
+// the ldplint analyzers, using only the standard library and the go
+// tool itself.
+//
+// The conventional driver for go/analysis is golang.org/x/tools/go/
+// packages, which this offline-built repository cannot depend on. The
+// same information is available from `go list -export -deps -json`:
+// the file sets of the packages under analysis plus compiled export
+// data for every dependency, which go/importer's gc importer can read
+// directly. Loading therefore costs one `go list` invocation (which
+// populates the build cache) plus an in-process parse and type-check
+// of just the packages being linted.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"ldprecover/internal/lint/analysis"
+)
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	analysis.Package
+	ImportPath string
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (with -deps, so export data exists for every
+// dependency), then parses and type-checks each matched non-dependency
+// package. All packages share one token.FileSet.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,CgoFiles,ImportMap,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			pc := p
+			targets = append(targets, &pc)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: ldplint cannot analyze cgo packages", t.ImportPath)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package.
+func check(fset *token.FileSet, imp types.Importer, t *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(t.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: importMapper{imp, t.ImportMap}}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		Package: analysis.Package{
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		},
+		ImportPath: t.ImportPath,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// newExportImporter returns a gc-export-data importer resolving import
+// paths through the given path→file map. One importer is shared across
+// every package in a Load, so each dependency's export data is read
+// once.
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// importMapper applies one package's ImportMap (vendoring, test
+// variants) before delegating to the shared export importer.
+type importMapper struct {
+	base types.Importer
+	m    map[string]string
+}
+
+func (im importMapper) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.m[path]; ok {
+		path = mapped
+	}
+	return im.base.Import(path)
+}

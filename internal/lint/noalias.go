@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ldprecover/internal/lint/analysis"
+)
+
+// Noalias enforces the copy-on-return accessor convention on
+// mutex-guarded types (DESIGN.md §10): an exported method on a type
+// that embeds a sync.Mutex/RWMutex must not return an internal slice or
+// map reachable from the receiver — once the method returns, the lock
+// is released and the caller would be reading (or writing) state the
+// next locked mutation races with. This is the PR 6 "accessor aliasing
+// under -race" lesson (detect tracker target slices, merger
+// membership), made mechanical: publish slices.Clone/maps.Clone copies,
+// never the field itself. Intentional zero-copy hand-offs (pooled
+// buffers whose ownership transfers) take an //ldplint:allow noalias
+// directive at the return.
+var Noalias = &analysis.Analyzer{
+	Name: "noalias",
+	Doc: "exported methods on mutex-guarded types must not return internal " +
+		"slices or maps without copying",
+	Run: runNoalias,
+}
+
+func runNoalias(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			named := namedRecvType(pass.TypesInfo, fd)
+			if named == nil || !mutexGuarded(named) {
+				continue
+			}
+			recv := receiverObj(pass.TypesInfo, fd)
+			if recv == nil {
+				continue
+			}
+			checkAliasReturns(pass, fd, recv)
+		}
+	}
+	return nil
+}
+
+// mutexGuarded reports whether the named type's underlying struct holds
+// a sync.Mutex or sync.RWMutex field (by value, named or embedded).
+func mutexGuarded(named *types.Named) bool {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft, ok := st.Field(i).Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := ft.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAliasReturns flags return statements that hand out slice/map
+// values reachable from the receiver without a copy.
+func checkAliasReturns(pass *analysis.Pass, fd *ast.FuncDecl, recv *types.Var) {
+	info := pass.TypesInfo
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// A closure's returns are not the method's returns; aliasing
+			// through stored closures is beyond this check.
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			t := info.TypeOf(res)
+			if t == nil {
+				continue
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+			default:
+				continue
+			}
+			if rootsAtReceiver(info, res, recv) {
+				kind := "slice"
+				if _, ok := t.Underlying().(*types.Map); ok {
+					kind = "map"
+				}
+				pass.Reportf(res.Pos(),
+					"%s returns an internal %s of mutex-guarded %s without copying; use slices.Clone/maps.Clone or copy",
+					fd.Name.Name, kind, recv.Type().String())
+			}
+		}
+		return true
+	})
+}
+
+// rootsAtReceiver reports whether expr is a selector/index/slice chain
+// rooted at the receiver variable — i.e. a value that aliases state the
+// receiver's mutex guards. A call in the chain (slices.Clone(...),
+// x.copy()) breaks it: the returned value is the call's result, not the
+// field.
+func rootsAtReceiver(info *types.Info, expr ast.Expr, recv *types.Var) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			return info.Uses[e] == recv
+		default:
+			return false
+		}
+	}
+}

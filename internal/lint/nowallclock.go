@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ldprecover/internal/lint/analysis"
+)
+
+// Nowallclock enforces the determinism convention (DESIGN.md §10): the
+// recovery, estimation, and detection paths must be pure functions of
+// their inputs — replaying the same WAL or re-running the same
+// estimate must produce the same answer, which the equivalence e2es
+// rely on. Wall-clock reads (time.Now and friends) and global
+// nondeterministic randomness (math/rand, crypto/rand) smuggle hidden
+// inputs into those paths. Legitimate uses — the epoch ticker that
+// drives seals, jittered retry backoff, lease expiry stamping — are
+// few and intentional, and each carries an
+//
+//	//ldplint:allow nowallclock <justification>
+//
+// directive at the call site. internal/rng is the sanctioned seeded
+// source for anything that needs randomness inside a deterministic
+// path.
+var Nowallclock = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "no wall-clock reads or nondeterministic randomness outside " +
+		"allowlisted call sites",
+	Run: runNowallclock,
+}
+
+// wallClockFuncs are the time package entry points that read or depend
+// on the wall/monotonic clock. Pure-value helpers (time.Duration math,
+// time.Unix, time.Date, Parse) are fine.
+var wallClockFuncs = []string{
+	"Now", "Since", "Until", "After", "Tick", "Sleep",
+	"NewTicker", "NewTimer", "AfterFunc",
+}
+
+// randFuncs are the package-level math/rand(/v2) entry points backed by
+// the global, time-seeded source, plus the constructors for new
+// sources. Methods on an explicit *rand.Rand are not flagged: a Rand
+// built from internal/rng's fixed seed IS the sanctioned pattern.
+var randFuncs = []string{
+	"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n", "Int64", "Int64N",
+	"Int32", "Int32N", "IntN", "Uint32", "Uint64", "Uint64N", "UintN",
+	"Float32", "Float64", "ExpFloat64", "NormFloat64", "Perm", "Shuffle",
+	"Seed", "New", "NewSource", "NewPCG", "NewChaCha8",
+}
+
+// nowallclockSkipsPkg reports whether the package is out of scope: the
+// lint tooling itself and the examples tree (illustrative programs, not
+// deterministic paths).
+func nowallclockSkipsPkg(path string) bool {
+	return strings.Contains(path, "internal/lint") ||
+		strings.HasPrefix(path, "ldprecover/examples")
+}
+
+func runNowallclock(pass *analysis.Pass) error {
+	if nowallclockSkipsPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			// Only package-level functions: a method on *rand.Rand or on
+			// time.Timer has a receiver and is driven by an explicit
+			// value the caller controls.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				for _, name := range wallClockFuncs {
+					if fn.Name() == name {
+						pass.Reportf(call.Pos(),
+							"time.%s reads the wall clock in a deterministic path; inject the clock or add //ldplint:allow nowallclock <why>",
+							fn.Name())
+						break
+					}
+				}
+			case "math/rand", "math/rand/v2":
+				for _, name := range randFuncs {
+					if fn.Name() == name {
+						pass.Reportf(call.Pos(),
+							"%s.%s is nondeterministic; use internal/rng's seeded source or add //ldplint:allow nowallclock <why>",
+							fn.Pkg().Path(), fn.Name())
+						break
+					}
+				}
+			case "crypto/rand":
+				pass.Reportf(call.Pos(),
+					"crypto/rand.%s is nondeterministic; use internal/rng's seeded source or add //ldplint:allow nowallclock <why>",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Fixture for the exactfold analyzer, ldp scope: Tally merge methods
+// must stay float-free.
+package ldp
+
+type Tally struct {
+	Counts []int64
+	Eps    float64
+}
+
+// MergeInto is the exact fold: int64 addition only.
+func (t *Tally) MergeInto(other *Tally) {
+	for i := range t.Counts {
+		t.Counts[i] += other.Counts[i]
+	}
+}
+
+// MergeScaled smuggles a float conversion and float multiply into the
+// fold.
+func (t *Tally) MergeScaled(other *Tally, w float64) {
+	for i := range t.Counts {
+		t.Counts[i] += int64(float64(other.Counts[i]) * w) // want "conversion to float64" "floating-point arithmetic"
+	}
+}
+
+// MergeDamped hides the rounding behind a float literal.
+func (t *Tally) MergeDamped(other *Tally) {
+	for i := range t.Counts {
+		d := 0.5 // want "float literal"
+		_ = d
+		t.Counts[i] += other.Counts[i]
+	}
+}
+
+// Estimate is allowed to use floats: estimation is a read-only
+// consumer of sealed counts, not a fold.
+func (t *Tally) Estimate() float64 {
+	return float64(len(t.Counts)) * t.Eps
+}
+
+// mergeChunk is in scope by name regardless of export: the parallel
+// merge splits into unexported chunk helpers.
+func (t *Tally) mergeChunk(other *Tally, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		t.Counts[i] += other.Counts[i]
+	}
+}

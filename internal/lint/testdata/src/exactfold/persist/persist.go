@@ -1,0 +1,51 @@
+// Fixture for the exactfold analyzer, persist scope: WAL replay folds
+// stay float-free, and snapshot floats round-trip as raw bits rather
+// than through value conversions.
+package persist
+
+import "math"
+
+type record struct {
+	ID     int
+	Delta  int64
+	Weight float64
+}
+
+// replayRecords is the boot-time fold; the weighted variant breaks
+// exactness and truncates on the way back to int64.
+func replayRecords(counts []int64, recs []record) {
+	for _, r := range recs {
+		counts[r.ID] += int64(r.Weight * 2) // want "floating-point arithmetic" "truncates"
+	}
+}
+
+// applyDelta is the exact form.
+func applyDelta(counts []int64, recs []record) {
+	for _, r := range recs {
+		counts[r.ID] += r.Delta
+	}
+}
+
+// encodeEpsilon converts instead of reinterpreting: the fraction is
+// silently dropped.
+func encodeEpsilon(eps float64) uint64 {
+	return uint64(eps) // want "truncates; round-trip snapshot floats with math.Float64bits"
+}
+
+// encodeEpsilonBits is the sanctioned round-trip.
+func encodeEpsilonBits(eps float64) uint64 {
+	return math.Float64bits(eps)
+}
+
+// decodeEpsilon converts the raw bits as a value: garbage.
+func decodeEpsilon(bits uint64) float64 {
+	return float64(bits) // want "decode snapshot floats with math.Float64frombits"
+}
+
+// decodeEpsilonBits is the sanctioned round-trip.
+func decodeEpsilonBits(bits uint64) float64 {
+	return math.Float64frombits(bits)
+}
+
+// Constant conversions are exact by definition and exempt.
+var defaultEps = float64(1)

@@ -1,0 +1,30 @@
+// Fixture for the exactfold analyzer, stream scope: the SealCounts /
+// AddPartial hand-off into the epoch manager must stay float-free.
+package stream
+
+import "math"
+
+type epoch struct {
+	counts []int64
+	scale  float64
+}
+
+// SealCounts folds a sealed tally into the epoch; the math.Round call
+// and the division both re-introduce rounding.
+func SealCounts(e *epoch, counts []int64) {
+	for i := range counts {
+		e.counts[i] += int64(math.Round(float64(counts[i]) / e.scale)) // want "math.Round returns a float" "conversion to float64" "floating-point arithmetic"
+	}
+}
+
+// AddPartial is the exact form.
+func AddPartial(e *epoch, counts []int64) {
+	for i := range counts {
+		e.counts[i] += counts[i]
+	}
+}
+
+// Rescale is out of scope by name: not part of the fold family.
+func Rescale(e *epoch, f float64) {
+	e.scale *= f
+}

@@ -1,0 +1,98 @@
+// Fixture for the failstop analyzer: errors from persist APIs must
+// propagate or reach a fail-stop sink, never vanish.
+package failstop
+
+import (
+	"log"
+
+	"ldprecover/internal/persist"
+)
+
+var fatalc = make(chan error, 1)
+
+func dropped(w *persist.WAL, b []byte) {
+	w.Append(b) // want "error from Append is dropped"
+}
+
+func blanked(w *persist.WAL, b []byte) {
+	_ = w.Append(b) // want "discarded with _"
+}
+
+func tupleBlanked(w *persist.WAL) int {
+	n, _ := w.Sync() // want "discarded with _"
+	return n
+}
+
+func goDropped(w *persist.WAL, b []byte) {
+	go w.Append(b) // want "discards the error; check it in the goroutine"
+}
+
+func deferDropped(w *persist.WAL) {
+	defer w.Seal() // want "discards the error"
+}
+
+func swallowed(w *persist.WAL, b []byte) {
+	if err := w.Append(b); err != nil { // want "neither propagated nor fail-stopped"
+		println("append failed")
+	}
+}
+
+// The fail-stop forms: hand the error to the fatal channel, a fatal
+// logger, or a panic.
+func failStops(w *persist.WAL, b []byte) {
+	if err := w.Append(b); err != nil {
+		fatalc <- err
+	}
+}
+
+func logsFatal(w *persist.WAL) {
+	if err := w.Seal(); err != nil {
+		log.Fatalf("seal: %v", err)
+	}
+}
+
+func panics(w *persist.WAL) {
+	if err := w.Seal(); err != nil {
+		panic(err)
+	}
+}
+
+// The propagating forms.
+func propagates(w *persist.WAL, b []byte) error {
+	if err := w.Append(b); err != nil {
+		return err
+	}
+	return w.Seal()
+}
+
+func wraps(w *persist.WAL, b []byte) error {
+	err := w.Append(b)
+	return wrapErr(err)
+}
+
+func wrapErr(err error) error { return err }
+
+// A goroutine that checks inside itself is fine: the closure is the
+// enclosing function.
+func goChecked(w *persist.WAL, b []byte) {
+	go func() {
+		if err := w.Append(b); err != nil {
+			fatalc <- err
+		}
+	}()
+}
+
+// Recorded exception: best-effort sync on a shutdown path.
+func bestEffortShutdown(w *persist.WAL) {
+	//ldplint:allow failstop best-effort sync on shutdown; the process is exiting either way
+	_, _ = w.Sync()
+}
+
+// Collecting errors for a combined return is propagation.
+func closeAll(ws []*persist.WAL) []error {
+	var errs []error
+	for _, w := range ws {
+		errs = append(errs, w.Seal())
+	}
+	return errs
+}

@@ -1,0 +1,10 @@
+// Fixture for the nowallclock scope rule: the examples tree holds
+// illustrative programs, not deterministic paths, and is skipped
+// wholesale — this wall-clock read must produce no finding.
+package demo
+
+import "time"
+
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

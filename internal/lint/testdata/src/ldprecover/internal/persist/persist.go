@@ -1,0 +1,18 @@
+// Fake persist package for the failstop fixture: the analyzer
+// identifies persist APIs by import path (internal/persist), so this
+// fixture reproduces the path under testdata/src.
+package persist
+
+import "errors"
+
+var ErrClosed = errors.New("wal closed")
+
+type WAL struct{}
+
+func (w *WAL) Append(b []byte) error { return nil }
+
+func (w *WAL) Seal() error { return nil }
+
+func (w *WAL) Sync() (int, error) { return 0, nil }
+
+func Open(path string) (*WAL, error) { return &WAL{}, nil }

@@ -1,0 +1,83 @@
+// Fixture for the noalias analyzer: exported methods on mutex-guarded
+// types must publish copies of internal slices/maps, never the fields
+// themselves.
+package noalias
+
+import (
+	"maps"
+	"slices"
+	"sync"
+)
+
+type Tracker struct {
+	mu      sync.RWMutex
+	targets []string
+	index   map[string]int
+}
+
+func (t *Tracker) Targets() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.targets // want "returns an internal slice"
+}
+
+func (t *Tracker) Head(n int) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.targets[:n] // want "returns an internal slice"
+}
+
+func (t *Tracker) Index() map[string]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.index // want "returns an internal map"
+}
+
+func (t *Tracker) TargetsCopy() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return slices.Clone(t.targets) // the clone call breaks the alias chain
+}
+
+func (t *Tracker) IndexCopy() map[string]int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return maps.Clone(t.index)
+}
+
+func (t *Tracker) targetsLocked() []string {
+	return t.targets // unexported: callers inside the package hold the lock
+}
+
+type Stats struct {
+	sync.Mutex
+	samples []int64
+}
+
+func (s *Stats) Samples() []int64 {
+	s.Lock()
+	defer s.Unlock()
+	return s.samples // want "returns an internal slice"
+}
+
+type Plain struct {
+	items []int
+}
+
+func (p *Plain) Items() []int {
+	return p.items // no mutex guards this type: out of scope
+}
+
+type Pool struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// TakeBuf transfers the pooled buffer zero-copy; ownership moves to
+// the caller by convention, so the exception is recorded in place.
+func (p *Pool) TakeBuf() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//ldplint:allow noalias pooled buffer ownership transfers to the caller
+	return p.buf
+}

@@ -1,0 +1,57 @@
+// Fixture for the nowallclock analyzer: no wall-clock reads or global
+// nondeterministic randomness in deterministic paths; explicit
+// seeded sources and value-only time constructors are fine, and
+// intentional exceptions carry an allow directive.
+package nowallclock
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func estimateNow() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+func sleepy() {
+	time.Sleep(time.Second) // want "time.Sleep reads the wall clock"
+}
+
+func tick() *time.Ticker {
+	return time.NewTicker(time.Second) // want "time.NewTicker reads the wall clock"
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since reads the wall clock"
+}
+
+func noisy() float64 {
+	return rand.Float64() // want "math/rand.Float64 is nondeterministic"
+}
+
+func shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand.Shuffle is nondeterministic"
+}
+
+func token(b []byte) {
+	crand.Read(b) // want "crypto/rand.Read is nondeterministic"
+}
+
+// Methods on an explicit *rand.Rand are the sanctioned pattern: the
+// caller controls the seed (internal/rng hands out fixed-seed Rands).
+func seeded(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// Pure value construction reads no clock.
+func pure(sec int64) time.Time {
+	return time.Unix(sec, 0)
+}
+
+// Recorded exception: retry jitter sits outside the deterministic
+// replay path.
+func jittered(base time.Duration) {
+	//ldplint:allow nowallclock retry jitter is outside the deterministic replay path
+	time.Sleep(base)
+}

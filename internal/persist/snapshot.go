@@ -345,6 +345,7 @@ func validSnapshots(dir string) ([]snapMeta, error) {
 		if err != nil {
 			return nil, err
 		}
+		//ldplint:allow failstop a corrupt snapshot candidate is skipped by design; the next-older file is the fallback
 		walSeq, st, err := decodeSnapshot(data)
 		if err != nil {
 			continue

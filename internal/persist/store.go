@@ -128,9 +128,8 @@ func Open(dir string, mgr *stream.EpochManager, opts Options) (*Store, error) {
 	// anyway would silently drop them. (A log starting at LSN 1 is the
 	// tolerated lost-log case: nothing between the snapshot and it.)
 	if first := s.wal.FirstLSNBound(); first > walSeq+1 {
-		s.wal.Close()
-		return nil, fmt.Errorf("persist: WAL starts at LSN %d but the restored snapshot covers only LSN %d; "+
-			"records in between are gone", first, walSeq)
+		return nil, errors.Join(fmt.Errorf("persist: WAL starts at LSN %d but the restored snapshot covers only LSN %d; "+
+			"records in between are gone", first, walSeq), s.wal.Close())
 	}
 	// If the log has been lost or wiped while a snapshot survived, fresh
 	// appends must not reuse LSNs the snapshot already covers.
@@ -168,8 +167,7 @@ func Open(dir string, mgr *stream.EpochManager, opts Options) (*Store, error) {
 		return nil
 	})
 	if err != nil {
-		s.wal.Close()
-		return nil, err
+		return nil, errors.Join(err, s.wal.Close())
 	}
 	return s, nil
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -598,8 +599,14 @@ func TestStoreWALGapFailsLoudly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir, mgr2, Options{}); err == nil {
+	_, err = Open(dir, mgr2, Options{})
+	if err == nil {
 		t.Fatal("booted over a WAL whose early records were truncated away")
+	}
+	// The refusal folds the teardown Close error in with errors.Join;
+	// the primary gap diagnosis must survive the composition.
+	if !strings.Contains(err.Error(), "records in between are gone") {
+		t.Fatalf("gap refusal lost its diagnosis: %v", err)
 	}
 }
 

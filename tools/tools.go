@@ -1,0 +1,26 @@
+// Package tools pins the versions of the external analysis tools the
+// lint and vulncheck Makefile targets invoke.
+//
+// The conventional tools.go pattern blank-imports each tool so go.mod
+// records its version, but this repository builds offline with an
+// empty module graph, so a tool requirement in go.mod would break
+// `go build ./...`. Instead the tools run through the module-free
+//
+//	go run <import-path>@<version>
+//
+// form, and this file is the single source of truth for <version>:
+// the Makefile extracts the constants below with sed, so bumping a
+// pin is a one-line change that code review sees. On an offline
+// builder `go run pkg@version` cannot download the tool; the Makefile
+// probes for availability first and skips (staticcheck) or reports
+// without failing (govulncheck) when the proxy is unreachable —
+// ldplint and go vet, which are fully in-tree, still run and still
+// gate.
+package tools
+
+const (
+	// StaticcheckVersion pins honnef.co/go/tools/cmd/staticcheck.
+	StaticcheckVersion = "2025.1.1"
+	// GovulncheckVersion pins golang.org/x/vuln/cmd/govulncheck.
+	GovulncheckVersion = "v1.1.4"
+)
