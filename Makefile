@@ -11,7 +11,7 @@ FUZZTIME ?= 10s
 STATICCHECK_VERSION := $(shell sed -n 's/.*StaticcheckVersion = "\(.*\)".*/\1/p' tools/tools.go)
 GOVULNCHECK_VERSION := $(shell sed -n 's/.*GovulncheckVersion = "\(.*\)".*/\1/p' tools/tools.go)
 
-.PHONY: all build test race bench-smoke bench-json bench-ingest bench-merge vet lint vulncheck fuzz ci
+.PHONY: all build test race bench-smoke bench-json bench-ingest bench-merge vet lint vulncheck fuzz audit ci
 
 all: build test
 
@@ -98,6 +98,27 @@ bench-merge:
 		-gate-min 2 BENCH_merge.tmp
 	rm -f BENCH_merge.tmp
 
+# Reports observed per neighboring input per audit cell — short on
+# purpose, like FUZZTIME: the CI sweep certifies ~e^-0.03 of the true
+# budget in seconds, and a tighter local certification is a
+# `AUDIT_TRIALS=5000000 make audit` away.
+AUDIT_TRIALS ?= 200000
+
+# Empirical privacy + recovery audit (DESIGN.md §11): certify eps_emp
+# for every protocol x client path x budget cell with exact
+# Clopper-Pearson bounds, replay the streamed MGA grid, and fold the
+# rows into BENCH_report.json next to the figure benchmarks. The gate
+# lives in ldpaudit itself — it exits 1 if any cell certifies
+# eps_emp > eps + slack or the recovery violation-rate bound exceeds its
+# cap — so a privacy leak fails this target (and CI) before the merge
+# runs.
+audit:
+	$(GO) run ./cmd/ldpaudit -mode all -protocol all -path all -eps 1,4 \
+		-trials $(AUDIT_TRIALS) -bench > BENCH_audit.tmp
+	cat BENCH_audit.tmp
+	$(GO) run ./cmd/benchjson -merge BENCH_report.json -o BENCH_report.json BENCH_audit.tmp
+	rm -f BENCH_audit.tmp
+
 vet:
 	$(GO) vet ./...
 
@@ -128,4 +149,4 @@ vulncheck:
 		echo "govulncheck $(GOVULNCHECK_VERSION) unavailable (offline toolchain); skipping"; \
 	fi
 
-ci: build lint test race fuzz
+ci: build lint test race fuzz audit

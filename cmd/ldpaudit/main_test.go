@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunPrivacyTable: a small sweep prints one verdict line per
+// protocol x path x eps cell and exits clean.
+func TestRunPrivacyTable(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-mode", "privacy", "-protocol", "GRR,OUE", "-path", "itemwise,count",
+		"-eps", "1", "-trials", "5000", "-seed", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d verdict lines for a 2x2 sweep:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, "PASS") {
+			t.Fatalf("cell did not pass: %q", line)
+		}
+		if !strings.Contains(line, "eps_emp=") {
+			t.Fatalf("no empirical budget on %q", line)
+		}
+	}
+}
+
+// TestRunBenchLines: -bench output must parse as Go benchmark lines —
+// even field count, ns/op present — or benchjson will drop the rows.
+func TestRunBenchLines(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-mode", "privacy", "-protocol", "OLH", "-path", "bulk",
+		"-eps", "1,4", "-trials", "5000", "-bench",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d bench lines for 2 cells:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		if !strings.HasPrefix(fields[0], "BenchmarkAudit/OLH/bulk/eps=") {
+			t.Fatalf("bad bench name in %q", line)
+		}
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			t.Fatalf("odd field count %d in %q", len(fields), line)
+		}
+		if !strings.Contains(line, " ns/op") || !strings.Contains(line, " eps-emp") {
+			t.Fatalf("missing ns/op or eps-emp metric in %q", line)
+		}
+	}
+}
+
+// TestRunJSON: -json emits a decodable document with every cell.
+func TestRunJSON(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-mode", "privacy", "-protocol", "SUE", "-path", "itemwise",
+		"-eps", "1", "-trials", "5000", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Privacy []struct {
+			Protocol string  `json:"protocol"`
+			EpsEmp   float64 `json:"eps_emp"`
+			Pass     bool    `json:"pass"`
+		} `json:"privacy"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("decode: %v\n%s", err, buf.String())
+	}
+	if len(doc.Privacy) != 1 || doc.Privacy[0].Protocol != "SUE" || !doc.Privacy[0].Pass {
+		t.Fatalf("unexpected document: %+v", doc)
+	}
+	if doc.Privacy[0].EpsEmp <= 0 {
+		t.Fatalf("vacuous eps_emp %v", doc.Privacy[0].EpsEmp)
+	}
+}
+
+// TestRunFlagValidation rejects malformed invocations.
+func TestRunFlagValidation(t *testing.T) {
+	var buf strings.Builder
+	for _, args := range [][]string{
+		{"-mode", "bogus"},
+		{"-protocol", "XYZ"},
+		{"-path", "sideways"},
+		{"-eps", "one"},
+		{"-rec-runs", "0", "-mode", "recovery"},
+		{"extra-arg"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunRecoveryShortGrid exercises the recovery mode end to end on a
+// minimal grid (8 seeds keep the exact rate bound under the gate).
+func TestRunRecoveryShortGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streamed grid")
+	}
+	var buf strings.Builder
+	err := run([]string{
+		"-mode", "recovery", "-protocol", "OUE", "-eps", "1",
+		"-betas", "0.1", "-rec-runs", "8", "-seed", "5",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "OUE  recovery") || !strings.Contains(out, "PASS") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

@@ -1,0 +1,250 @@
+package audit
+
+import (
+	"fmt"
+
+	"ldprecover/internal/dataset"
+	"ldprecover/internal/experiment"
+	"ldprecover/internal/stats"
+)
+
+// RecoveryConfig parameterizes a recovery-robustness audit: the streamed
+// MGA scenario is replayed across a grid of attacker strengths and
+// seeds, and each run is checked against the recovery pipeline's error
+// guarantees.
+type RecoveryConfig struct {
+	// Protocol names the mechanism (GRR, OUE, or OLH — the streamed
+	// scenario follows the paper's evaluated set).
+	Protocol string
+	// Epsilon is the privacy budget (default 1).
+	Epsilon float64
+	// Domain and N describe the synthetic Zipf population (defaults 64
+	// and 60000); ZipfS is its skew (default 1.1).
+	Domain int
+	N      int64
+	ZipfS  float64
+	// Betas is the attacker-strength grid (default {0.05, 0.1, 0.15}).
+	Betas []float64
+	// Seeds replays each beta under these stream seeds (default {1,2,3}).
+	Seeds []uint64
+	// Epochs is the stream length (default 16, attacked from the middle
+	// with a 3-epoch ramp, matching the stream acceptance test).
+	Epochs int
+	// NumTargets is the MGA target-set size (default 5).
+	NumTargets int
+	// MSEFactor is the error guarantee: the steady-state recovered MSE
+	// must stay below MSEFactor times the protocol's theoretical
+	// no-attack MSE floor (default 30).
+	MSEFactor float64
+	// FGHalving requires the steady-state recovered frequency gain to be
+	// below FGHalving times the poisoned gain (default 0.5 — recovery
+	// must claw back at least half of what the attacker gained).
+	FGHalving float64
+	// EngageLag bounds when cross-epoch detection must engage
+	// LDPRecover*: no later than EngageLag epochs after the ramp
+	// completes (default 3), and never before the attack starts.
+	EngageLag int
+	// Confidence is the level of the one-sided Clopper-Pearson upper
+	// bound on the violation rate (default 0.95).
+	Confidence float64
+	// MaxViolationRate is the gate: the audit passes iff the certified
+	// upper bound on the per-run violation rate stays below it (default
+	// 0.4 — with a short grid the exact bound is necessarily loose; more
+	// seeds tighten it).
+	MaxViolationRate float64
+}
+
+func (c RecoveryConfig) withDefaults() RecoveryConfig {
+	if c.Protocol == "" {
+		c.Protocol = "OUE"
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1
+	}
+	if c.Domain == 0 {
+		c.Domain = 64
+	}
+	if c.N == 0 {
+		c.N = 60000
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if len(c.Betas) == 0 {
+		c.Betas = []float64{0.05, 0.1, 0.15}
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = []uint64{1, 2, 3}
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 16
+	}
+	if c.NumTargets == 0 {
+		c.NumTargets = 5
+	}
+	if c.MSEFactor == 0 {
+		c.MSEFactor = 30
+	}
+	if c.FGHalving == 0 {
+		c.FGHalving = 0.5
+	}
+	if c.EngageLag == 0 {
+		c.EngageLag = 3
+	}
+	if c.Confidence == 0 {
+		c.Confidence = 0.95
+	}
+	if c.MaxViolationRate == 0 {
+		c.MaxViolationRate = 0.4
+	}
+	return c
+}
+
+// RecoveryRun is one grid cell's outcome.
+type RecoveryRun struct {
+	Beta      float64 `json:"beta"`
+	Seed      uint64  `json:"seed"`
+	MSEBefore float64 `json:"mse_before"`
+	MSEAfter  float64 `json:"mse_after"`
+	// MSEFloor is the protocol's theoretical no-attack frequency MSE.
+	MSEFloor  float64 `json:"mse_floor"`
+	FGBefore  float64 `json:"fg_before"`
+	FGAfter   float64 `json:"fg_after"`
+	EngagedAt int     `json:"engaged_at"`
+	// Violations lists the guarantees this run broke (empty: clean).
+	Violations []string `json:"violations,omitempty"`
+}
+
+// RecoveryResult aggregates the grid and certifies the violation rate.
+type RecoveryResult struct {
+	Protocol string        `json:"protocol"`
+	Epsilon  float64       `json:"epsilon"`
+	Runs     []RecoveryRun `json:"runs"`
+	// Violated counts runs breaking at least one guarantee.
+	Violated int `json:"violated"`
+	// Rate is the observed violation rate; RateHi its one-sided
+	// Clopper-Pearson upper confidence bound.
+	Rate   float64 `json:"rate"`
+	RateHi float64 `json:"rate_hi"`
+	// Pass is the gate verdict: RateHi <= MaxViolationRate.
+	Pass bool `json:"pass"`
+}
+
+// Verdict renders the gate outcome for logs.
+func (r RecoveryResult) Verdict() string {
+	if r.Pass {
+		return "PASS"
+	}
+	return fmt.Sprintf("VIOLATION (%d/%d runs, rate bound %.3f)", r.Violated, len(r.Runs), r.RateHi)
+}
+
+// RunRecovery replays the streamed MGA scenario over the configured
+// grid and bounds the violation rate of the recovery guarantees.
+func RunRecovery(cfg RecoveryConfig) (*RecoveryResult, error) {
+	cfg = cfg.withDefaults()
+	kind, err := protocolKind(cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := dataset.Zipf("audit-recovery", cfg.Domain, cfg.N, cfg.ZipfS)
+	if err != nil {
+		return nil, err
+	}
+	proto, err := kind.Build(cfg.Domain, cfg.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	// Theoretical no-attack frequency MSE floor: the mean over the
+	// domain of each item's estimator variance at its true frequency,
+	// scaled from counts to frequencies.
+	trueF := ds.Frequencies()
+	n := ds.N()
+	var floor float64
+	for _, f := range trueF {
+		floor += proto.Variance(f, n)
+	}
+	floor /= float64(cfg.Domain) * float64(n) * float64(n)
+
+	res := &RecoveryResult{Protocol: cfg.Protocol, Epsilon: cfg.Epsilon}
+	attackStart := cfg.Epochs / 2
+	const rampEpochs = 3
+	for _, beta := range cfg.Betas {
+		for _, seed := range cfg.Seeds {
+			sm, err := experiment.RunStream(experiment.StreamScenario{
+				Dataset:     ds,
+				Protocol:    kind,
+				Epsilon:     cfg.Epsilon,
+				Beta:        beta,
+				NumTargets:  cfg.NumTargets,
+				Epochs:      cfg.Epochs,
+				AttackStart: attackStart,
+				RampEpochs:  rampEpochs,
+				StableAfter: 2,
+				Seed:        seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			steady := sm.Points[cfg.Epochs-1]
+			run := RecoveryRun{
+				Beta:      beta,
+				Seed:      seed,
+				MSEBefore: steady.MSEBefore,
+				MSEAfter:  steady.MSEAfter,
+				MSEFloor:  floor,
+				FGBefore:  steady.FGBefore,
+				FGAfter:   steady.FGAfter,
+				EngagedAt: sm.StarEngagedAt,
+			}
+			if !(steady.MSEAfter <= cfg.MSEFactor*floor) {
+				run.Violations = append(run.Violations, fmt.Sprintf(
+					"recovered MSE %.3g above %gx theoretical floor %.3g",
+					steady.MSEAfter, cfg.MSEFactor, floor))
+			}
+			if steady.FGBefore > 0 && !(steady.FGAfter <= cfg.FGHalving*steady.FGBefore) {
+				run.Violations = append(run.Violations, fmt.Sprintf(
+					"recovered FG %.3g above %g of poisoned FG %.3g",
+					steady.FGAfter, cfg.FGHalving, steady.FGBefore))
+			}
+			deadline := attackStart + rampEpochs + cfg.EngageLag
+			if sm.StarEngagedAt < 0 || sm.StarEngagedAt > deadline {
+				run.Violations = append(run.Violations, fmt.Sprintf(
+					"LDPRecover* engaged at epoch %d, deadline %d", sm.StarEngagedAt, deadline))
+			} else if sm.StarEngagedAt < attackStart {
+				run.Violations = append(run.Violations, fmt.Sprintf(
+					"LDPRecover* engaged at epoch %d before the attack at %d",
+					sm.StarEngagedAt, attackStart))
+			}
+			if len(run.Violations) > 0 {
+				res.Violated++
+			}
+			res.Runs = append(res.Runs, run)
+		}
+	}
+	total := int64(len(res.Runs))
+	res.Rate = float64(res.Violated) / float64(total)
+	// One-sided upper bound at cfg.Confidence: the two-sided interval at
+	// 2c-1 puts exactly 1-c of mass above its upper end.
+	_, hi, err := stats.ClopperPearson(int64(res.Violated), total, 2*cfg.Confidence-1)
+	if err != nil {
+		return nil, err
+	}
+	res.RateHi = hi
+	res.Pass = res.RateHi <= cfg.MaxViolationRate
+	return res, nil
+}
+
+// protocolKind maps an audit protocol name onto the experiment tier's
+// kind. SUE is itemwise-auditable but has no streamed scenario.
+func protocolKind(name string) (experiment.ProtocolKind, error) {
+	switch name {
+	case "GRR":
+		return experiment.GRR, nil
+	case "OUE":
+		return experiment.OUE, nil
+	case "OLH":
+		return experiment.OLH, nil
+	default:
+		return 0, fmt.Errorf("audit: no streamed scenario for protocol %q", name)
+	}
+}

@@ -1,0 +1,94 @@
+package ldp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestNewOLHEpsilonOverflow: a budget whose hash range ⌈e^ε+1⌉ overflows
+// must be rejected with the named error, never pushed through the
+// implementation-dependent float->int conversion (pre-fix: a garbage
+// negative g on amd64, a silently huge hash range on arm64).
+func TestNewOLHEpsilonOverflow(t *testing.T) {
+	for _, eps := range []float64{25, 50, 710, math.Inf(1)} {
+		_, err := NewOLH(16, eps)
+		if err == nil {
+			t.Fatalf("eps=%g: constructed", eps)
+		}
+		if !errors.Is(err, ErrEpsilonTooLarge) {
+			t.Fatalf("eps=%g: error %v is not ErrEpsilonTooLarge", eps, err)
+		}
+	}
+	if _, err := NewOLH(16, math.NaN()); err == nil || errors.Is(err, ErrEpsilonTooLarge) {
+		t.Fatalf("NaN epsilon: got %v, want a plain invalid-epsilon error", err)
+	}
+	// The largest representable default hash range still constructs.
+	if _, err := NewOLH(16, 21); err != nil {
+		t.Fatalf("eps=21: %v", err)
+	}
+}
+
+// TestNewOLHWithGDegenerateP: even with a small explicit g, a huge ε
+// rounds the internal keep probability to exactly 1 — the sampler would
+// never perturb while claiming a finite budget.
+func TestNewOLHWithGDegenerateP(t *testing.T) {
+	_, err := NewOLHWithG(16, 60, 16)
+	if !errors.Is(err, ErrEpsilonTooLarge) {
+		t.Fatalf("got %v, want ErrEpsilonTooLarge", err)
+	}
+	if _, err := NewOLHWithG(16, 2, maxHashRange+1); err == nil {
+		t.Fatal("g above maxHashRange accepted")
+	}
+}
+
+// TestNewGRREpsilonDegenerate: at d=16, e^40 swallows d-1 in float64 and
+// p rounds to exactly 1 (the fixed-point threshold saturates to
+// certainty): GRR would report the truth always. Pre-fix this
+// constructed silently.
+func TestNewGRREpsilonDegenerate(t *testing.T) {
+	for _, eps := range []float64{40, 710} {
+		_, err := NewGRR(16, eps)
+		if !errors.Is(err, ErrEpsilonTooLarge) {
+			t.Fatalf("eps=%g: got %v, want ErrEpsilonTooLarge", eps, err)
+		}
+	}
+	// Large-but-representable budgets still construct.
+	if _, err := NewGRR(16, 30); err != nil {
+		t.Fatalf("eps=30: %v", err)
+	}
+}
+
+// TestNewOUEEpsilonDegenerate: e^710 = +Inf makes q exactly 0 — OUE
+// would never set a non-true bit, so a report reveals its input outright.
+func TestNewOUEEpsilonDegenerate(t *testing.T) {
+	_, err := NewOUE(16, 710)
+	if !errors.Is(err, ErrEpsilonTooLarge) {
+		t.Fatalf("got %v, want ErrEpsilonTooLarge", err)
+	}
+	if _, err := NewOUE(16, 20); err != nil {
+		t.Fatalf("eps=20: %v", err)
+	}
+}
+
+// TestNewSUEEpsilonDegenerate: e^{ε/2} beyond 2^53 rounds SUE's p to 1.
+func TestNewSUEEpsilonDegenerate(t *testing.T) {
+	for _, eps := range []float64{160, 1419} {
+		_, err := NewSUE(16, eps)
+		if !errors.Is(err, ErrEpsilonTooLarge) {
+			t.Fatalf("eps=%g: got %v, want ErrEpsilonTooLarge", eps, err)
+		}
+	}
+	if _, err := NewSUE(16, 40); err != nil {
+		t.Fatalf("eps=40: %v", err)
+	}
+}
+
+// TestNewBLHEpsilonDegenerate: BLH shares OLH's construction, so the
+// guard must fire through it as well.
+func TestNewBLHEpsilonDegenerate(t *testing.T) {
+	_, err := NewBLH(16, 60)
+	if !errors.Is(err, ErrEpsilonTooLarge) {
+		t.Fatalf("got %v, want ErrEpsilonTooLarge", err)
+	}
+}

@@ -21,6 +21,9 @@ type GRR struct {
 // budget epsilon.
 func NewGRR(d int, epsilon float64) (*GRR, error) {
 	expE := math.Exp(epsilon)
+	if math.IsInf(expE, 1) {
+		return nil, errEpsilonTooLarge("GRR", epsilon, "e^eps overflows float64")
+	}
 	pr := Params{
 		Epsilon: epsilon,
 		Domain:  d,
@@ -28,6 +31,9 @@ func NewGRR(d int, epsilon float64) (*GRR, error) {
 		Q:       1 / (float64(d) - 1 + expE),
 	}
 	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkPerturbable("GRR", pr); err != nil {
 		return nil, err
 	}
 	return &GRR{params: pr, pFix: rng.FixedProb(pr.P)}, nil

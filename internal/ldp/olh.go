@@ -1,6 +1,7 @@
 package ldp
 
 import (
+	"fmt"
 	"math"
 
 	"ldprecover/internal/hashx"
@@ -26,14 +27,32 @@ type OLH struct {
 	name        string
 }
 
+// maxHashRange bounds OLH's hash range g. Beyond 2^31 the range no
+// longer describes a plausible report alphabet — it is the signature of
+// an overflowed e^ε — and the float->int conversion of such a g is
+// implementation-dependent (garbage-negative on amd64, saturated-huge on
+// arm64), so the budget is rejected before any conversion happens.
+const maxHashRange = 1 << 31
+
 // NewOLH constructs an OLH protocol over a domain of size d with privacy
 // budget epsilon, using the paper's default hash range g = ⌈e^ε+1⌉.
+// Budgets whose hash range overflows maxHashRange are rejected with
+// ErrEpsilonTooLarge rather than converted to a platform-dependent
+// garbage range.
 func NewOLH(d int, epsilon float64) (*OLH, error) {
-	g := int(math.Ceil(math.Exp(epsilon) + 1))
-	return NewOLHWithG(d, epsilon, g)
+	if math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("ldp: invalid epsilon %v", epsilon)
+	}
+	ge := math.Ceil(math.Exp(epsilon) + 1)
+	if !(ge <= maxHashRange) {
+		return nil, errEpsilonTooLarge("OLH", epsilon,
+			fmt.Sprintf("hash range ceil(e^eps+1) = %g exceeds %d", ge, int64(maxHashRange)))
+	}
+	return NewOLHWithG(d, epsilon, int(ge))
 }
 
-// NewOLHWithG constructs OLH with an explicit hash range g >= 2.
+// NewOLHWithG constructs OLH with an explicit hash range 2 <= g <=
+// maxHashRange.
 func NewOLHWithG(d int, epsilon float64, g int) (*OLH, error) {
 	expE := math.Exp(epsilon)
 	pr := Params{
@@ -43,10 +62,13 @@ func NewOLHWithG(d int, epsilon float64, g int) (*OLH, error) {
 		Q:       1 / float64(g),
 		G:       g,
 	}
-	if g < 2 {
+	if g < 2 || g > maxHashRange {
 		return nil, errInvalidG(g)
 	}
 	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkPerturbable("OLH", pr); err != nil {
 		return nil, err
 	}
 	return &OLH{

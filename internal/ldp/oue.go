@@ -28,6 +28,9 @@ func NewOUE(d int, epsilon float64) (*OUE, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
+	if err := checkPerturbable("OUE", pr); err != nil {
+		return nil, err
+	}
 	return &OUE{params: pr, sampler: newUnarySampler(d, pr.P, pr.Q)}, nil
 }
 

@@ -98,3 +98,33 @@ func checkItem(v, d int) error {
 
 // ErrNilRand is returned when a nil generator is supplied.
 var ErrNilRand = errors.New("ldp: nil random generator")
+
+// ErrEpsilonTooLarge is returned by protocol constructors when the
+// requested privacy budget cannot be realized in float64: e^ε (or the
+// derived hash range) overflows, or the perturbation probabilities round
+// to the degenerate p = 1 / q = 0. Constructing anyway would silently
+// run a *different* mechanism than the requested ε — typically one that
+// never perturbs, i.e. no privacy at all — so the budget is rejected at
+// construction instead.
+var ErrEpsilonTooLarge = errors.New("ldp: epsilon too large to represent")
+
+// errEpsilonTooLarge wraps ErrEpsilonTooLarge with the protocol and the
+// specific degeneracy.
+func errEpsilonTooLarge(name string, epsilon float64, detail string) error {
+	return fmt.Errorf("ldp: %s epsilon %g unrepresentable (%s): %w", name, epsilon, detail, ErrEpsilonTooLarge)
+}
+
+// checkPerturbable rejects parameter sets whose float64 evaluation
+// degenerated to a non-perturbing mechanism. It is the guard every
+// constructor that derives p/q from e^ε must run before accepting ε —
+// Params.Validate cannot catch this, because p = 1 with a tiny positive
+// q is a perfectly consistent (just non-private) parameter set.
+func checkPerturbable(name string, pr Params) error {
+	if pr.P >= 1 {
+		return errEpsilonTooLarge(name, pr.Epsilon, fmt.Sprintf("keep probability rounds to %v", pr.P))
+	}
+	if pr.Q <= 0 {
+		return errEpsilonTooLarge(name, pr.Epsilon, fmt.Sprintf("flip probability rounds to %v", pr.Q))
+	}
+	return nil
+}

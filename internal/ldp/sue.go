@@ -26,6 +26,9 @@ type SUE struct {
 // budget epsilon.
 func NewSUE(d int, epsilon float64) (*SUE, error) {
 	half := math.Exp(epsilon / 2)
+	if math.IsInf(half, 1) {
+		return nil, errEpsilonTooLarge("SUE", epsilon, "e^(eps/2) overflows float64")
+	}
 	pr := Params{
 		Epsilon: epsilon,
 		Domain:  d,
@@ -33,6 +36,9 @@ func NewSUE(d int, epsilon float64) (*SUE, error) {
 		Q:       1 / (half + 1),
 	}
 	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkPerturbable("SUE", pr); err != nil {
 		return nil, err
 	}
 	return &SUE{params: pr, sampler: newUnarySampler(d, pr.P, pr.Q)}, nil

@@ -157,3 +157,135 @@ func BenchmarkGeometricSkip(b *testing.B) {
 	}
 	_ = s
 }
+
+// TestFixedProbNaN: NaN must clamp to the impossible threshold, not fall
+// through to the implementation-dependent float->uint64 conversion
+// (which on amd64 yields 1<<63 — a coin flip masquerading as a
+// probability). Regression test for the audit-tier sampling-math sweep.
+func TestFixedProbNaN(t *testing.T) {
+	if th := FixedProb(math.NaN()); th != 0 {
+		t.Fatalf("FixedProb(NaN) = %d want 0", th)
+	}
+}
+
+// TestFixedProbExactThresholds pins the fixed-point conversion contract:
+// scaling by 2^64 is exact (pure exponent shift), so for p >= 2^-11 the
+// threshold reproduces p with zero error, and below that the rounding
+// error is at most half an output ulp (2^-65 in probability).
+func TestFixedProbExactThresholds(t *testing.T) {
+	exact := []struct {
+		p  float64
+		th uint64
+	}{
+		{0.5, 1 << 63},
+		{0.25, 1 << 62},
+		{0.75, 3 << 62},
+		{1.0 / 1024, 1 << 54},
+		// Largest p below 1: 1-2^-53 scales to 2^64-2^11 exactly.
+		{1 - 0x1p-53, ^uint64(0) - (1 << 11) + 1},
+		// Smallest representable regime: p*2^64 rounds to the nearest
+		// integer, half away from zero.
+		{0x1p-64, 1},
+		{0x1p-65, 1},
+		{0x1p-66, 0},
+		{5e-324, 0}, // subnormal underflows the threshold entirely
+	}
+	for _, c := range exact {
+		if th := FixedProb(c.p); th != c.th {
+			t.Fatalf("FixedProb(%g) = %d want %d", c.p, th, c.th)
+		}
+	}
+	// p >= 2^-11: threshold/2^64 must equal p bit-for-bit. float64(th) is
+	// exact here because th carries at most 53 significant bits (it is
+	// p's mantissa shifted).
+	r := New(99)
+	for i := 0; i < 1000; i++ {
+		p := math.Ldexp(r.Float64()+0.001, -int(r.Uint64n(11)))
+		if p <= 0 || p >= 1 || p < 0x1p-11 {
+			continue
+		}
+		th := FixedProb(p)
+		if got := float64(th) * 0x1p-64; got != p {
+			t.Fatalf("FixedProb(%v) realizes %v (threshold %d): not exact", p, got, th)
+		}
+	}
+	// Below 2^-11 the absolute rounding error must stay within half an
+	// output ulp.
+	for _, p := range []float64{0x1p-12, 3e-5, 7e-9, 1e-15, 0x1.5p-40} {
+		th := FixedProb(p)
+		if d := math.Abs(float64(th) - p*0x1p64); d > 0.5 {
+			t.Fatalf("FixedProb(%v) = %d: |th - p*2^64| = %v > 0.5", p, th, d)
+		}
+	}
+}
+
+// TestGeometricSkipZeroDrawClamped: the u == 0 draw must behave like the
+// smallest positive draw — a large finite skip — not like "no success
+// ever". Pre-fix the zero draw returned MaxInt64 even at q = 1, where
+// every skip must be 0.
+func TestGeometricSkipZeroDrawClamped(t *testing.T) {
+	inv := SkipInv(0.5)
+	got := skipFromUniform(0, inv)
+	want := skipFromUniform(geometricSkipMinU, inv)
+	if got != want {
+		t.Fatalf("zero draw skips %d, smallest positive draw skips %d", got, want)
+	}
+	if got == math.MaxInt64 {
+		t.Fatalf("zero draw at q=0.5 saturated to MaxInt64")
+	}
+	// q -> 1: success is certain, so the skip must be 0 for every draw,
+	// including the clamped zero draw.
+	if s := skipFromUniform(0, SkipInv(1)); s != 0 {
+		t.Fatalf("zero draw at q=1 skipped %d want 0", s)
+	}
+	if s := skipFromUniform(0.999, SkipInv(1)); s != 0 {
+		t.Fatalf("draw 0.999 at q=1 skipped %d want 0", s)
+	}
+}
+
+// TestGeometricSkipSaturates: tiny q (huge SkipInv magnitude) must
+// saturate at MaxInt64 without overflowing the float->int64 conversion,
+// for ordinary, tiny, and zero draws; q = 0 means no success ever.
+func TestGeometricSkipSaturates(t *testing.T) {
+	for _, q := range []float64{1e-300, 1e-30} {
+		inv := SkipInv(q)
+		for _, u := range []float64{0, geometricSkipMinU, 0.5, 0.999999} {
+			s := skipFromUniform(u, inv)
+			if s < 0 {
+				t.Fatalf("q=%g u=%g: negative skip %d (conversion overflow)", q, u, s)
+			}
+			if u <= 0.5 && s != math.MaxInt64 {
+				t.Fatalf("q=%g u=%g: skip %d want MaxInt64 saturation", q, u, s)
+			}
+		}
+	}
+	if s := skipFromUniform(0.5, SkipInv(0)); s != math.MaxInt64 {
+		t.Fatalf("q=0 skip %d want MaxInt64 (no success ever)", s)
+	}
+	// Just inside the representable range: ln(0.5)*1e19 ~ 6.9e18 fits in
+	// int64, so it must come back finite and non-negative, not clamped.
+	if s := skipFromUniform(0.5, SkipInv(1e-19)); s <= 0 || s == math.MaxInt64 {
+		t.Fatalf("q=1e-19 u=0.5: skip %d want large finite", s)
+	}
+}
+
+// TestGeometricSkipUnchangedOnPositiveDraws pins that the clamp did not
+// touch the u > 0 mapping: a seeded GeometricSkip stream must replay
+// bit-identically through the inversion formula on a mirrored generator.
+func TestGeometricSkipUnchangedOnPositiveDraws(t *testing.T) {
+	for _, q := range []float64{0.02, 0.1, 0.377} {
+		inv := SkipInv(q)
+		a, b := New(17), New(17)
+		for i := 0; i < 10000; i++ {
+			got := a.GeometricSkip(inv)
+			u := b.Float64()
+			if u == 0 {
+				continue // the clamped cell, covered above
+			}
+			want := int64(math.Log(u) * inv)
+			if got != want {
+				t.Fatalf("q=%v draw %d: skip %d want %d", q, i, got, want)
+			}
+		}
+	}
+}

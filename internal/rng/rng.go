@@ -117,12 +117,17 @@ func (r *Rand) Bernoulli(p float64) bool {
 }
 
 // FixedProb converts a probability to the 64-bit fixed-point threshold
-// consumed by BernoulliU64. The conversion rounds to the nearest
-// representable threshold, so the realized probability differs from p by
-// at most 2^-64 (far below the 2^-53 resolution of the Float64-based
-// Bernoulli). Out-of-range p clamps to the degenerate thresholds.
+// consumed by BernoulliU64. Scaling by 2^64 only shifts the exponent, so
+// p*2^64 is computed exactly; rounding it to the nearest integer leaves
+// the realized probability within 2^-65 of p, and exactly equal to p
+// whenever p >= 2^-11 (where p's own ulp is at least 2^-64 and the
+// product is already integral). That is far below the 2^-53 resolution
+// of the Float64-based Bernoulli. Out-of-range p — including NaN, which
+// would otherwise reach the implementation-dependent float-to-uint64
+// conversion and produce a platform-specific garbage threshold — clamps
+// to the degenerate thresholds.
 func FixedProb(p float64) uint64 {
-	if p <= 0 {
+	if p <= 0 || math.IsNaN(p) {
 		return 0
 	}
 	if p >= 1 {
@@ -164,17 +169,34 @@ func SkipInv(q float64) float64 {
 // O(d·q) expected work instead of d draws: the geometric skip-sampling
 // behind sparse unary perturbation.
 //
-// The return value saturates at math.MaxInt64 for the (measure-zero)
-// u == 0 draw; callers compare against a domain bound anyway.
+// A uniform draw of exactly 0 (probability 2^-53 per skip) is clamped to
+// the smallest positive draw before the log: the discrete draw 0 stands
+// for the interval [0, 2^-53), whose inversion image is a large but
+// finite skip, and clamping keeps the q=1 degenerate correct (skip 0)
+// instead of sending math.Log(0) = -Inf through the computation and
+// reporting "no success ever". The result saturates at math.MaxInt64
+// when the skip exceeds the int64 range (tiny q, tiny draw); callers
+// compare against a domain bound anyway.
 func (r *Rand) GeometricSkip(invLog1q float64) int64 {
-	u := r.Float64()
-	if u <= 0 {
-		return math.MaxInt64
+	return skipFromUniform(r.Float64(), invLog1q)
+}
+
+// geometricSkipMinU is the smallest positive value Float64 returns; the
+// zero draw clamps here.
+const geometricSkipMinU = 0x1p-53
+
+// skipFromUniform is GeometricSkip's inversion core on an explicit
+// uniform draw, split out so edge-case draws (0, subnormal-adjacent) are
+// testable without steering the generator.
+func skipFromUniform(u, invLog1q float64) int64 {
+	if u < geometricSkipMinU {
+		u = geometricSkipMinU
 	}
 	k := math.Log(u) * invLog1q
 	// The saturating branch also catches NaN and the q=0 degenerate
 	// (SkipInv +Inf times a negative log gives -Inf), where "no success
-	// ever" is the right answer.
+	// ever" is the right answer. The comparison constant converts to
+	// 2^63 exactly, so every k it admits converts to int64 in range.
 	if !(k >= 0) || k >= math.MaxInt64 {
 		return math.MaxInt64
 	}

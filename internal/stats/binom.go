@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// BetaIncReg computes the regularized incomplete beta function I_x(a, b)
+// for a, b > 0 and x in [0, 1], via the standard continued-fraction
+// expansion (Numerical Recipes betai/betacf) with the symmetry split at
+// x = (a+1)/(a+b+2) for fast convergence on both sides.
+func BetaIncReg(a, b, x float64) float64 {
+	if a <= 0 || b <= 0 || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log1p(-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta function
+// with Lentz's method.
+func betaCF(a, b, x float64) float64 {
+	const tiny = 1e-300
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= 500; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return h
+}
+
+// BetaInvCDF returns the p-quantile of the Beta(a, b) distribution for
+// p in [0, 1], inverting BetaIncReg by bisection. Bisection converges
+// unconditionally on the monotone CDF; 200 halvings exhaust float64
+// resolution, so no polishing step is needed.
+func BetaInvCDF(p, a, b float64) float64 {
+	if a <= 0 || b <= 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if mid == lo || mid == hi {
+			break
+		}
+		if BetaIncReg(a, b, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ClopperPearson returns the exact two-sided Clopper–Pearson confidence
+// interval for a binomial proportion with k successes in n trials at the
+// given confidence level (e.g. 0.99). The bounds are the usual Beta
+// quantiles
+//
+//	lo = BetaInvCDF(alpha/2;   k,   n-k+1)   (0 when k == 0)
+//	hi = BetaInvCDF(1-alpha/2; k+1, n-k)     (1 when k == n)
+//
+// with alpha = 1 - confidence. The interval is conservative: it covers
+// the true proportion with probability at least the confidence level,
+// which is what makes it usable as a certified bound in the privacy
+// audit tier (DESIGN.md §11).
+func ClopperPearson(k, n int64, confidence float64) (lo, hi float64, err error) {
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("stats: Clopper-Pearson with n=%d", n)
+	}
+	if k < 0 || k > n {
+		return 0, 0, fmt.Errorf("stats: Clopper-Pearson with k=%d outside [0,%d]", k, n)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("stats: Clopper-Pearson confidence %v outside (0,1)", confidence)
+	}
+	alpha := 1 - confidence
+	fk, fn := float64(k), float64(n)
+	if k == 0 {
+		lo = 0
+	} else {
+		lo = BetaInvCDF(alpha/2, fk, fn-fk+1)
+	}
+	if k == n {
+		hi = 1
+	} else {
+		hi = BetaInvCDF(1-alpha/2, fk+1, fn-fk)
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBetaIncRegEdges(t *testing.T) {
+	if v := BetaIncReg(2, 3, 0); v != 0 {
+		t.Fatalf("I_0 = %v want 0", v)
+	}
+	if v := BetaIncReg(2, 3, 1); v != 1 {
+		t.Fatalf("I_1 = %v want 1", v)
+	}
+	if !math.IsNaN(BetaIncReg(0, 1, 0.5)) || !math.IsNaN(BetaIncReg(1, -1, 0.5)) {
+		t.Fatal("invalid shape parameters must yield NaN")
+	}
+	if !math.IsNaN(BetaIncReg(1, 1, math.NaN())) {
+		t.Fatal("NaN x must yield NaN")
+	}
+}
+
+// TestBetaIncRegClosedForms checks against cases with exact closed forms:
+// Beta(1, b) has CDF 1-(1-x)^b, Beta(a, 1) has CDF x^a, and Beta(1, 1)
+// is uniform.
+func TestBetaIncRegClosedForms(t *testing.T) {
+	for _, x := range []float64{0.01, 0.2, 0.5, 0.8, 0.99} {
+		if got, want := BetaIncReg(1, 1, x), x; math.Abs(got-want) > 1e-12 {
+			t.Fatalf("I_%v(1,1) = %v want %v", x, got, want)
+		}
+		if got, want := BetaIncReg(3, 1, x), math.Pow(x, 3); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("I_%v(3,1) = %v want %v", x, got, want)
+		}
+		if got, want := BetaIncReg(1, 4, x), 1-math.Pow(1-x, 4); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("I_%v(1,4) = %v want %v", x, got, want)
+		}
+	}
+}
+
+// TestBetaIncRegMatchesBinomialSum cross-checks the continued fraction
+// against the independent identity
+//
+//	I_p(k, n-k+1) = P[Binomial(n, p) >= k]
+//
+// with the binomial tail summed directly in log space.
+func TestBetaIncRegMatchesBinomialSum(t *testing.T) {
+	binTail := func(n, k int64, p float64) float64 {
+		var sum float64
+		for i := k; i <= n; i++ {
+			lg1, _ := math.Lgamma(float64(n + 1))
+			lg2, _ := math.Lgamma(float64(i + 1))
+			lg3, _ := math.Lgamma(float64(n - i + 1))
+			sum += math.Exp(lg1 - lg2 - lg3 + float64(i)*math.Log(p) + float64(n-i)*math.Log1p(-p))
+		}
+		return sum
+	}
+	cases := []struct {
+		n, k int64
+		p    float64
+	}{
+		{50, 5, 0.1}, {50, 5, 0.3}, {100, 50, 0.5}, {200, 3, 0.01}, {80, 79, 0.95},
+	}
+	for _, c := range cases {
+		got := BetaIncReg(float64(c.k), float64(c.n-c.k+1), c.p)
+		want := binTail(c.n, c.k, c.p)
+		if math.Abs(got-want) > 1e-10 {
+			t.Fatalf("n=%d k=%d p=%v: I=%v binomial tail=%v", c.n, c.k, c.p, got, want)
+		}
+	}
+}
+
+func TestBetaInvCDFRoundTrip(t *testing.T) {
+	for _, ab := range [][2]float64{{1, 1}, {2, 5}, {0.5, 0.5}, {30, 70}, {1000, 5}} {
+		for _, p := range []float64{1e-6, 0.025, 0.5, 0.975, 1 - 1e-6} {
+			x := BetaInvCDF(p, ab[0], ab[1])
+			back := BetaIncReg(ab[0], ab[1], x)
+			if math.Abs(back-p) > 1e-9 {
+				t.Fatalf("a=%v b=%v p=%v: inv=%v round-trips to %v", ab[0], ab[1], p, x, back)
+			}
+		}
+	}
+}
+
+func TestClopperPearsonValidation(t *testing.T) {
+	if _, _, err := ClopperPearson(1, 0, 0.95); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, _, err := ClopperPearson(-1, 10, 0.95); err == nil {
+		t.Fatal("k<0 accepted")
+	}
+	if _, _, err := ClopperPearson(11, 10, 0.95); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, _, err := ClopperPearson(5, 10, 1); err == nil {
+		t.Fatal("confidence=1 accepted")
+	}
+}
+
+// TestClopperPearsonKnownBounds pins the degenerate closed forms: with
+// zero successes the upper bound is 1-(alpha/2)^(1/n) (the "rule of
+// three" generalization), and the interval is symmetric under
+// (k, lo, hi) -> (n-k, 1-hi, 1-lo).
+func TestClopperPearsonKnownBounds(t *testing.T) {
+	lo, hi, err := ClopperPearson(0, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 {
+		t.Fatalf("k=0 lower bound %v want 0", lo)
+	}
+	want := 1 - math.Pow(0.025, 1.0/100)
+	if math.Abs(hi-want) > 1e-9 {
+		t.Fatalf("k=0 upper bound %v want %v", hi, want)
+	}
+
+	lo2, hi2, err := ClopperPearson(100, 100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi2 != 1 {
+		t.Fatalf("k=n upper bound %v want 1", hi2)
+	}
+	if math.Abs(lo2-(1-hi)) > 1e-9 || math.Abs(hi2-(1-lo)) > 1e-9 {
+		t.Fatalf("interval not symmetric: k=0 (%v,%v) vs k=n (%v,%v)", lo, hi, lo2, hi2)
+	}
+}
+
+// TestClopperPearsonCoversBySelfConsistency checks the defining tail
+// equations: at the lower bound P[Bin(n, lo) >= k] = alpha/2 and at the
+// upper bound P[Bin(n, hi) <= k] = alpha/2, evaluated through the
+// beta-binomial identity with the forward BetaIncReg (a different code
+// path than the bisection that produced the bounds).
+func TestClopperPearsonCoversBySelfConsistency(t *testing.T) {
+	const conf = 0.99
+	const alpha = 1 - conf
+	cases := []struct{ k, n int64 }{{5, 50}, {1, 1000}, {500, 1000}, {999, 1000}, {37, 200}}
+	for _, c := range cases {
+		lo, hi, err := ClopperPearson(c.k, c.n, conf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo < 0 || hi > 1 || lo >= hi {
+			t.Fatalf("k=%d n=%d: malformed interval (%v, %v)", c.k, c.n, lo, hi)
+		}
+		phat := float64(c.k) / float64(c.n)
+		if phat < lo || phat > hi {
+			t.Fatalf("k=%d n=%d: point estimate %v outside (%v, %v)", c.k, c.n, phat, lo, hi)
+		}
+		// P[Bin(n, lo) >= k] = I_lo(k, n-k+1) must equal alpha/2.
+		if c.k > 0 {
+			tail := BetaIncReg(float64(c.k), float64(c.n-c.k+1), lo)
+			if math.Abs(tail-alpha/2) > 1e-9 {
+				t.Fatalf("k=%d n=%d: lower-bound tail %v want %v", c.k, c.n, tail, alpha/2)
+			}
+		}
+		// P[Bin(n, hi) <= k] = 1 - I_hi(k+1, n-k) must equal alpha/2.
+		if c.k < c.n {
+			tail := 1 - BetaIncReg(float64(c.k+1), float64(c.n-c.k), hi)
+			if math.Abs(tail-alpha/2) > 1e-9 {
+				t.Fatalf("k=%d n=%d: upper-bound tail %v want %v", c.k, c.n, tail, alpha/2)
+			}
+		}
+	}
+}

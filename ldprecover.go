@@ -116,6 +116,12 @@ const DefaultEta = core.DefaultEta
 // NewRand returns a deterministic random generator for the given seed.
 func NewRand(seed uint64) *Rand { return rng.New(seed) }
 
+// ErrEpsilonTooLarge rejects a privacy budget too large to represent:
+// the keep probability would round to exactly 1 (or the flip
+// probability to 0), so the constructed mechanism would never perturb
+// while claiming a finite epsilon. Matched with errors.Is.
+var ErrEpsilonTooLarge = ldp.ErrEpsilonTooLarge
+
 // NewGRR constructs General Randomized Response over a domain of size d
 // with privacy budget epsilon.
 func NewGRR(d int, epsilon float64) (*GRR, error) { return ldp.NewGRR(d, epsilon) }
